@@ -1,0 +1,1 @@
+bench/workloads.ml: S4o_device S4o_lazy S4o_nn S4o_tensor S4o_xla

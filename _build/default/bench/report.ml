@@ -1,0 +1,33 @@
+(** Plain-text table rendering for the benchmark harness: every reproduced
+    table prints the paper's published number next to the simulator's, so
+    the shape comparison is visible in one glance. *)
+
+let rule widths =
+  print_string "+";
+  List.iter (fun w -> print_string (String.make (w + 2) '-' ^ "+")) widths;
+  print_newline ()
+
+let row widths cells =
+  print_string "|";
+  List.iter2 (fun w c -> Printf.printf " %-*s |" w c) widths cells;
+  print_newline ()
+
+let table ~title ~headers ~rows =
+  Printf.printf "\n== %s ==\n" title;
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun acc r -> max acc (String.length (List.nth r i)))
+          (String.length h) rows)
+      headers
+  in
+  rule widths;
+  row widths headers;
+  rule widths;
+  List.iter (row widths) rows;
+  rule widths
+
+let note fmt = Printf.printf (fmt ^^ "\n")
+
+let ratio_cell ~paper ~measured =
+  Printf.sprintf "%.2fx" (measured /. paper)

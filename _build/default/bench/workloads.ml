@@ -1,0 +1,86 @@
+(** Shared workload builders for the benchmark harness: capture one training
+    step of each evaluation network as an HLO graph (via the lazy backend in
+    timing mode), so every framework strategy and device model scores the
+    exact same computation. *)
+
+module Spec = S4o_device.Device_spec
+
+type captured = {
+  graph : S4o_xla.Hlo.graph;
+  param_count : int;
+  batch : int;
+  grad_bytes : int;
+}
+
+(* Each capture gets a fresh lazy runtime so traces never mix; the three
+   networks get monomorphic capture functions because the functor-heavy
+   plumbing doesn't abstract nicely over first-class modules. *)
+
+let capture_resnet56 ~batch =
+  let engine = S4o_device.Engine.create Spec.desktop_cpu in
+  let rt = S4o_lazy.Lazy_runtime.create engine in
+  let module Bk = S4o_lazy.Lazy_backend.Make (struct
+    let rt = rt
+  end) in
+  let module M = S4o_nn.Models.Make (Bk) in
+  let module T = S4o_nn.Train.Make (Bk) in
+  let module O = S4o_nn.Optimizer.Make (Bk) in
+  let rng = S4o_tensor.Prng.create 1 in
+  let model = M.resnet56 rng in
+  let opt = O.sgd ~lr:0.1 model in
+  let images = Bk.placeholder [| batch; 32; 32; 3 |] in
+  let labels = Bk.placeholder [| batch; 10 |] in
+  let r = T.step_on_device model opt ~images ~labels in
+  let roots = M.L.D.value r.T.loss :: O.updated_params opt in
+  let params = M.L.param_count model in
+  {
+    graph = Bk.capture roots;
+    param_count = params;
+    batch;
+    grad_bytes = 4 * params;
+  }
+
+and capture_resnet50 ~batch =
+  let engine = S4o_device.Engine.create Spec.desktop_cpu in
+  let rt = S4o_lazy.Lazy_runtime.create engine in
+  let module Bk = S4o_lazy.Lazy_backend.Make (struct
+    let rt = rt
+  end) in
+  let module M = S4o_nn.Models.Make (Bk) in
+  let module T = S4o_nn.Train.Make (Bk) in
+  let module O = S4o_nn.Optimizer.Make (Bk) in
+  let rng = S4o_tensor.Prng.create 1 in
+  let model = M.resnet50 rng in
+  let opt = O.sgd ~lr:0.1 model in
+  let images = Bk.placeholder [| batch; 224; 224; 3 |] in
+  let labels = Bk.placeholder [| batch; 1000 |] in
+  let r = T.step_on_device model opt ~images ~labels in
+  let roots = M.L.D.value r.T.loss :: O.updated_params opt in
+  let params = M.L.param_count model in
+  {
+    graph = Bk.capture roots;
+    param_count = params;
+    batch;
+    grad_bytes = 4 * params;
+  }
+
+(** LeNet-5 forward pass on one MNIST-shaped batch, for Figure 4. *)
+and capture_lenet_forward ~batch =
+  let engine = S4o_device.Engine.create Spec.desktop_cpu in
+  let rt = S4o_lazy.Lazy_runtime.create engine in
+  let module Bk = S4o_lazy.Lazy_backend.Make (struct
+    let rt = rt
+  end) in
+  let module M = S4o_nn.Models.Make (Bk) in
+  let rng = S4o_tensor.Prng.create 1 in
+  let model = M.lenet rng in
+  let images = Bk.placeholder [| batch; 28; 28; 1 |] in
+  let ctx = M.L.D.new_ctx () in
+  let logits = M.L.apply model ctx (M.L.D.const images) in
+  let params = M.L.param_count model in
+  {
+    graph = Bk.capture [ M.L.D.value logits ];
+    param_count = params;
+    batch;
+    grad_bytes = 4 * params;
+  }

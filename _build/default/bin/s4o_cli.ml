@@ -1,0 +1,173 @@
+(** [s4o] — command-line driver for the platform.
+
+    - [s4o train]: train a model on a synthetic dataset on any of the three
+      Tensor backends (§3's "switch by specifying a device").
+    - [s4o trace]: print (or export as GraphViz) the LazyTensor trace of a
+      model's forward pass, as in Figure 4.
+    - [s4o spline]: run the on-device personalization workload of §5.1.3 and
+      project Table 4's runtime styles.
+
+    [dune exec bin/s4o_cli.exe -- <command> --help] for options. *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ train *)
+
+type backend_kind = Naive | Eager | Lazy
+
+let train_with (type bk) (module Bk : S4o_tensor.Backend_intf.S with type t = bk)
+    ~after_step ~model_name ~epochs ~batch_size ~n ~lr ~seed ~report =
+  let module M = S4o_nn.Models.Make (Bk) in
+  let module T = S4o_nn.Train.Make (Bk) in
+  let module O = S4o_nn.Optimizer.Make (Bk) in
+  let rng = S4o_tensor.Prng.create seed in
+  let dataset, model =
+    match model_name with
+    | "lenet" -> (S4o_data.Dataset.synthetic_mnist rng ~n, M.lenet rng)
+    | "resnet-tiny" ->
+        ( S4o_data.Dataset.synthetic_cifar10 rng ~n,
+          M.resnet rng ~in_channels:3 (M.resnet_tiny_config ~classes:10) )
+    | "mlp" ->
+        (S4o_data.Dataset.two_arcs rng ~n, M.mlp rng ~inputs:2 ~hidden:32 ~outputs:2)
+    | other -> Printf.ksprintf failwith "unknown model %s" other
+  in
+  let batches = S4o_data.Dataset.batches dataset ~batch_size ~shuffle_rng:rng in
+  Printf.printf "%s on %s: %d parameters, %d batches of %d\n%!" model_name
+    Bk.name (M.L.param_count model) (List.length batches) batch_size;
+  let opt = O.adam ~lr model in
+  let stats =
+    T.fit ~epochs ~after_step
+      ~log:(fun epoch s ->
+        Printf.printf "epoch %d: loss=%.4f acc=%.1f%%\n%!" epoch s.T.mean_loss
+          (100.0 *. s.T.accuracy))
+      model opt batches
+  in
+  Printf.printf "final training accuracy: %.1f%%\n" (100.0 *. stats.T.accuracy);
+  report ()
+
+let run_train backend model_name epochs batch_size n lr seed =
+  match backend with
+  | Naive ->
+      train_with
+        (module S4o_tensor.Naive_backend)
+        ~after_step:(fun _ -> ())
+        ~model_name ~epochs ~batch_size ~n ~lr ~seed
+        ~report:(fun () -> ())
+  | Eager ->
+      let engine = S4o_device.Engine.create S4o_device.Device_spec.gtx1080 in
+      let rt = S4o_eager.Runtime.create engine in
+      let module Bk = S4o_eager.Eager_backend.Make (struct
+        let rt = rt
+      end) in
+      train_with
+        (module Bk)
+        ~after_step:(fun _ -> ())
+        ~model_name ~epochs ~batch_size ~n ~lr ~seed
+        ~report:(fun () ->
+          Printf.printf
+            "eager runtime: %d ops dispatched, simulated host %.3fs, device \
+             busy %.3fs\n"
+            (S4o_eager.Runtime.ops_dispatched rt)
+            (S4o_eager.Runtime.host_time rt)
+            (S4o_device.Engine.device_busy_time engine))
+  | Lazy ->
+      let engine = S4o_device.Engine.create S4o_device.Device_spec.gtx1080 in
+      let rt = S4o_lazy.Lazy_runtime.create engine in
+      let module Bk = S4o_lazy.Lazy_backend.Make (struct
+        let rt = rt
+      end) in
+      train_with
+        (module Bk)
+        ~after_step:(fun ts -> Bk.barrier ts)
+        ~model_name ~epochs ~batch_size ~n ~lr ~seed
+        ~report:(fun () ->
+          let st = S4o_lazy.Lazy_runtime.stats rt in
+          Printf.printf
+            "lazy runtime: %d traces, %d compiles, %d cache hits, simulated \
+             host %.3fs\n"
+            st.S4o_lazy.Lazy_runtime.traces_cut
+            st.S4o_lazy.Lazy_runtime.cache_misses
+            st.S4o_lazy.Lazy_runtime.cache_hits
+            (S4o_device.Engine.host_time engine))
+
+let backend_conv =
+  Arg.enum [ ("naive", Naive); ("eager", Eager); ("lazy", Lazy) ]
+
+let train_cmd =
+  let backend =
+    Arg.(value & opt backend_conv Naive & info [ "backend" ] ~doc:"naive|eager|lazy")
+  in
+  let model =
+    Arg.(value & opt string "lenet" & info [ "model" ] ~doc:"lenet|resnet-tiny|mlp")
+  in
+  let epochs = Arg.(value & opt int 2 & info [ "epochs" ]) in
+  let batch = Arg.(value & opt int 32 & info [ "batch-size" ]) in
+  let n = Arg.(value & opt int 256 & info [ "examples" ]) in
+  let lr = Arg.(value & opt float 1e-3 & info [ "lr" ]) in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ]) in
+  Cmd.v
+    (Cmd.info "train" ~doc:"Train a model on a synthetic dataset")
+    Term.(const run_train $ backend $ model $ epochs $ batch $ n $ lr $ seed)
+
+(* ------------------------------------------------------------------ trace *)
+
+let run_trace batch dot_file =
+  let engine = S4o_device.Engine.create S4o_device.Device_spec.desktop_cpu in
+  let rt = S4o_lazy.Lazy_runtime.create engine in
+  let module Bk = S4o_lazy.Lazy_backend.Make (struct
+    let rt = rt
+  end) in
+  let module M = S4o_nn.Models.Make (Bk) in
+  let rng = S4o_tensor.Prng.create 1 in
+  let model = M.lenet rng in
+  let images = Bk.placeholder [| batch; 28; 28; 1 |] in
+  let ctx = M.L.D.new_ctx () in
+  let logits = M.L.apply model ctx (M.L.D.const images) in
+  let graph = Bk.capture [ M.L.D.value logits ] in
+  print_endline (S4o_xla.Hlo.to_string graph);
+  match dot_file with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (S4o_xla.Hlo.to_dot ~name:"lenet_forward" graph);
+      close_out oc;
+      Printf.printf "DOT written to %s\n" path
+
+let trace_cmd =
+  let batch = Arg.(value & opt int 1 & info [ "batch" ]) in
+  let dot = Arg.(value & opt (some string) None & info [ "dot" ] ~doc:"write GraphViz file") in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Print the LazyTensor trace of LeNet's forward pass (Figure 4)")
+    Term.(const run_trace $ batch $ dot)
+
+(* ----------------------------------------------------------------- spline *)
+
+let run_spline knots data_points shift =
+  let module Mr = S4o_mobile.Mobile_runtime in
+  let rng = S4o_tensor.Prng.create 7 in
+  let workload, _, stats =
+    Mr.run_fine_tuning ~n_knots:knots ~n_data:data_points ~user_shift:shift rng
+  in
+  Printf.printf
+    "fine-tuned for real: %d iterations, converged=%b, final loss %.2e\n\n"
+    workload.Mr.iterations stats.S4o_spline.Line_search.converged
+    stats.S4o_spline.Line_search.final_loss;
+  Printf.printf "%-34s %10s %10s %10s\n" "runtime" "train ms" "mem MB" "binary MB";
+  List.iter
+    (fun style ->
+      let r = Mr.simulate style workload in
+      Printf.printf "%-34s %10.0f %10.1f %10.1f\n" (Mr.style_name style)
+        r.Mr.train_ms r.Mr.memory_mb r.Mr.binary_mb)
+    Mr.all_styles
+
+let spline_cmd =
+  let knots = Arg.(value & opt int 96 & info [ "knots" ]) in
+  let data = Arg.(value & opt int 4000 & info [ "data-points" ]) in
+  let shift = Arg.(value & opt float 0.4 & info [ "user-shift" ]) in
+  Cmd.v
+    (Cmd.info "spline" ~doc:"On-device spline personalization (Table 4 workload)")
+    Term.(const run_spline $ knots $ data $ shift)
+
+let () =
+  let doc = "Swift-for-TensorFlow-in-OCaml platform driver" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "s4o" ~doc) [ train_cmd; trace_cmd; spline_cmd ]))

@@ -1,0 +1,1 @@
+examples/pendulum.ml: Array Printf S4o_core S4o_spline

@@ -1,0 +1,1 @@
+examples/policy_gradient.ml: Array Float Printf S4o_core S4o_tensor

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Float List Printf S4o_core

@@ -1,0 +1,1 @@
+examples/resnet_cifar.ml: Printf S4o_data S4o_device S4o_lazy S4o_nn S4o_tensor

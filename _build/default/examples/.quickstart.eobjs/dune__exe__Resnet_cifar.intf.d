@@ -1,0 +1,1 @@
+examples/resnet_cifar.mli:

@@ -1,0 +1,1 @@
+examples/sil_autodiff.ml: Activity Array Builder Diagnostics Format Interp Ir List Passes Printf S4o_sil Transform

@@ -1,0 +1,1 @@
+examples/spline_mobile.ml: List Printf S4o_mobile S4o_spline S4o_tensor

@@ -1,0 +1,1 @@
+examples/spline_mobile.mli:

@@ -1,0 +1,1 @@
+examples/transformer.ml: Array List Printf S4o_data S4o_nn S4o_tensor

@@ -1,0 +1,78 @@
+(** Reinforcement learning with the platform's AD (§5's application area:
+    "two recent works used Swift for TensorFlow to assist in reinforcement
+    learning research"): REINFORCE on a multi-armed bandit.
+
+    The policy is a softmax over learnable logits; the policy-gradient
+    estimator differentiates [log pi(a)] with the scalar reverse-mode tape —
+    the same "ordinary code, differentiated" story as every other example.
+
+    Run with: [dune exec examples/policy_gradient.exe] *)
+
+module R = S4o_core.Reverse
+
+let n_arms = 5
+
+(* hidden reward means; arm 3 is best *)
+let reward_means = [| 0.1; 0.3; 0.2; 0.9; 0.4 |]
+
+let softmax_probs logits =
+  let m = Array.fold_left Float.max Float.neg_infinity logits in
+  let exps = Array.map (fun l -> Float.exp (l -. m)) logits in
+  let z = Array.fold_left ( +. ) 0.0 exps in
+  Array.map (fun e -> e /. z) exps
+
+let sample_categorical rng probs =
+  let u = S4o_tensor.Prng.float rng in
+  let rec go i acc =
+    if i = Array.length probs - 1 then i
+    else begin
+      let acc = acc +. probs.(i) in
+      if u < acc then i else go (i + 1) acc
+    end
+  in
+  go 0 0.0
+
+(* log pi(action | logits) written against the AD ops, so its gradient with
+   respect to the logits comes from one reverse sweep *)
+let log_prob (logits : R.t array) action =
+  (* log softmax: logits.(a) - log(sum exp logits) *)
+  let exps = Array.map R.exp logits in
+  let z = Array.fold_left R.add (R.const 0.0) exps in
+  R.sub logits.(action) (R.log z)
+
+let () =
+  let rng = S4o_tensor.Prng.create 2024 in
+  let logits = Array.make n_arms 0.0 in
+  let lr = 0.2 in
+  let episodes = 2000 in
+  let reward_sum = ref 0.0 in
+  Printf.printf "REINFORCE on a %d-armed bandit (best arm: %d)\n\n" n_arms 3;
+  for episode = 1 to episodes do
+    let probs = softmax_probs logits in
+    let action = sample_categorical rng probs in
+    let reward =
+      reward_means.(action) +. S4o_tensor.Prng.gaussian rng ~mean:0.0 ~stddev:0.1
+    in
+    reward_sum := !reward_sum +. reward;
+    (* baseline: running average reward *)
+    let baseline = !reward_sum /. float_of_int episode in
+    let advantage = reward -. baseline in
+    (* gradient ascent on advantage * log pi(action) *)
+    let _, grad = R.grad (fun vars -> log_prob vars action) logits in
+    Array.iteri
+      (fun i g -> logits.(i) <- logits.(i) +. (lr *. advantage *. g))
+      grad;
+    if episode mod 400 = 0 then begin
+      let probs = softmax_probs logits in
+      Printf.printf "episode %4d: avg reward %.3f, policy [" episode baseline;
+      Array.iteri
+        (fun i p -> Printf.printf "%s%.2f" (if i > 0 then "; " else "") p)
+        probs;
+      Printf.printf "]\n%!"
+    end
+  done;
+  let final = softmax_probs logits in
+  let best = ref 0 in
+  Array.iteri (fun i p -> if p > final.(!best) then best := i) final;
+  Printf.printf "\nconverged to arm %d with probability %.2f\n" !best final.(!best);
+  if !best = 3 then Printf.printf "(correct: arm 3 has the highest mean reward)\n"

@@ -1,0 +1,124 @@
+(** Quickstart: the differentiable-programming core in five minutes.
+
+    Run with: [dune exec examples/quickstart.exe] *)
+
+let section title = Printf.printf "\n--- %s ---\n" title
+
+(* 1. Reverse mode: gradients of ordinary scalar code. *)
+let () =
+  section "gradient of f(x, y) = x*y + sin(x)";
+  let module R = S4o_core.Reverse in
+  let f x y = R.add (R.mul x y) (R.sin x) in
+  let value, (dx, dy) = R.grad2 f 2.0 3.0 in
+  Printf.printf "f(2, 3)        = %.6f\n" value;
+  Printf.printf "df/dx = y+cos x = %.6f (expected %.6f)\n" dx (3.0 +. cos 2.0);
+  Printf.printf "df/dy = x       = %.6f\n" dy
+
+(* 2. Forward mode: directional derivatives with dual numbers. *)
+let () =
+  section "forward-mode derivative of sin(x^2)";
+  let module F = S4o_core.Forward in
+  let f x = F.sin (F.mul x x) in
+  let d = F.derivative f 1.5 in
+  Printf.printf "d/dx sin(x^2) at 1.5 = %.6f (expected %.6f)\n" d
+    (2.0 *. 1.5 *. cos (1.5 *. 1.5))
+
+(* 3. Differentiable function values: the (f, JVP, VJP) bundle of Figure 3,
+   with the gradient operator of Figure 2. *)
+let () =
+  section "differentiable function values (Figure 2/3)";
+  let module D = S4o_core.Diff_fn in
+  let bundle =
+    D.promote_vector (fun xs ->
+        (* f(x) = sum of squares *)
+        Array.fold_left
+          (fun acc x -> S4o_core.Reverse.add acc (S4o_core.Reverse.mul x x))
+          (S4o_core.Reverse.const 0.0) xs)
+  in
+  let grad = D.gradient ~at:[| 1.0; 2.0; 3.0 |] bundle in
+  Printf.printf "gradient(at: [1;2;3], in: sum-of-squares) = [%g; %g; %g]\n"
+    grad.(0) grad.(1) grad.(2)
+
+(* 4. Differentiation of arbitrary user-defined types: a 2-D pose manifold
+   with its own tangent vector, via the Differentiable protocol (Figure 1). *)
+let () =
+  section "user-defined Differentiable type (Figure 1)";
+  let module Pose = struct
+    type t = { x : float; y : float; heading : float }
+
+    module Tangent = struct
+      type t = { dx : float; dy : float; dheading : float }
+
+      let zero = { dx = 0.0; dy = 0.0; dheading = 0.0 }
+
+      let add a b =
+        {
+          dx = a.dx +. b.dx;
+          dy = a.dy +. b.dy;
+          dheading = a.dheading +. b.dheading;
+        }
+
+      let sub a b =
+        {
+          dx = a.dx -. b.dx;
+          dy = a.dy -. b.dy;
+          dheading = a.dheading -. b.dheading;
+        }
+    end
+
+    let move p ~along:(d : Tangent.t) =
+      {
+        x = p.x +. d.dx;
+        y = p.y +. d.dy;
+        heading = p.heading +. d.dheading;
+      }
+  end in
+  (* "Loss" = squared distance from the origin after driving 1 unit forward;
+     compute its gradient in Pose's tangent space via reverse AD. *)
+  let module R = S4o_core.Reverse in
+  let drive_loss xs =
+    let x = xs.(0) and y = xs.(1) and h = xs.(2) in
+    let x' = R.add x (R.cos h) and y' = R.add y (R.sin h) in
+    R.add (R.mul x' x') (R.mul y' y')
+  in
+  let pose = { Pose.x = 0.5; y = -0.25; heading = 0.3 } in
+  let _, g = R.grad drive_loss [| pose.Pose.x; pose.Pose.y; pose.Pose.heading |] in
+  let grad_tangent = { Pose.Tangent.dx = g.(0); dy = g.(1); dheading = g.(2) } in
+  (* One gradient-descent move along the manifold: scale the tangent by -lr
+     using the TangentVector's own AdditiveArithmetic. *)
+  let lr = 0.1 in
+  let scaled =
+    (* -lr * g, built from zero/add/sub: 0 - (g/10 summed 1x) with lr = 0.1 *)
+    let tenth =
+      { Pose.Tangent.dx = lr *. grad_tangent.Pose.Tangent.dx;
+        dy = lr *. grad_tangent.Pose.Tangent.dy;
+        dheading = lr *. grad_tangent.Pose.Tangent.dheading }
+    in
+    Pose.Tangent.sub Pose.Tangent.zero (Pose.Tangent.add tenth Pose.Tangent.zero)
+  in
+  let updated = Pose.move pose ~along:scaled in
+  Printf.printf "pose:    (%.3f, %.3f, %.3f)\n" pose.Pose.x pose.Pose.y pose.Pose.heading;
+  Printf.printf "updated: (%.3f, %.3f, %.3f) after one move along -grad\n"
+    updated.Pose.x updated.Pose.y updated.Pose.heading
+
+(* 5. Higher-order differentiation, which the runtime formulation supports
+   (the compile-time transform does not; S2.3). *)
+let () =
+  section "higher-order derivatives (S2.3 contrast)";
+  let module H = S4o_core.Higher_order in
+  let f = { H.apply = (fun (type a) (ops : a H.ops) (x : a) -> ops.H.mul x (ops.H.mul x (ops.H.mul x x))) } in
+  (* f(x) = x^4 *)
+  List.iter
+    (fun n ->
+      Printf.printf "d^%d/dx^%d x^4 at 2.0 = %g\n" n n (H.nth_derivative n f 2.0))
+    [ 0; 1; 2; 3; 4; 5 ]
+
+(* 6. Custom derivatives: the @derivative(of:) registration. *)
+let () =
+  section "custom derivative registration";
+  let module R = S4o_core.Reverse in
+  (* A numerically-hardened log1p with a hand-written derivative. *)
+  let log1p = R.custom_unary ~f:Float.log1p ~df:(fun x -> 1.0 /. (1.0 +. x)) in
+  let v, d = R.grad1 (fun x -> log1p (R.mul x x)) 0.5 in
+  Printf.printf "log1p(x^2) at 0.5 = %.6f, derivative = %.6f (expected %.6f)\n"
+    v d (2.0 *. 0.5 /. 1.25)

@@ -1,0 +1,88 @@
+(** The compile-time AD transformation (§2.2) end to end: build an MSIL
+    function with control flow, inspect the IR, run activity analysis and
+    differentiability checking, synthesize the derivative, and show that the
+    synthesized code agrees with finite differences — plus the standard
+    optimization passes running over the same IR.
+
+    Run with: [dune exec examples/sil_autodiff.exe] *)
+
+open S4o_sil
+module B = Builder
+
+(* f(x, n) = leaky_relu(x)^n computed with a loop and a branch — enough
+   control flow to exercise the per-block pullback records. *)
+let build () =
+  let b = B.create ~name:"power_leaky" ~n_args:2 in
+  let x = B.param b 0 and n = B.param b 1 in
+  (* leaky = x > 0 ? x : 0.1 * x *)
+  let zero = B.const b 0.0 in
+  let c = B.cmp b Ir.Gt x zero in
+  let tenth = B.const b 0.1 in
+  let scaled = B.binary b Ir.Mul tenth x in
+  let leaky = B.select b ~cond:c ~if_true:x ~if_false:scaled in
+  let header = B.new_block b ~params:4 in
+  (* acc, i, base, n *)
+  let body = B.new_block b ~params:4 in
+  let exit = B.new_block b ~params:1 in
+  let one = B.const b 1.0 in
+  B.br b header [| one; zero; leaky; n |];
+  B.switch b header;
+  let acc = B.param b 0 and i = B.param b 1 and base = B.param b 2 and nn = B.param b 3 in
+  let cont = B.cmp b Ir.Lt i nn in
+  B.cond_br b ~cond:cont ~if_true:(body, [| acc; i; base; nn |])
+    ~if_false:(exit, [| acc |]);
+  B.switch b body;
+  let acc' = B.binary b Ir.Mul (B.param b 0) (B.param b 2) in
+  let i' = B.binary b Ir.Add (B.param b 1) (B.const b 1.0) in
+  B.br b header [| acc'; i'; B.param b 2; B.param b 3 |];
+  B.switch b exit;
+  B.ret b (B.param b 0);
+  B.finish b
+
+let () =
+  let f = build () in
+  Printf.printf "=== The MSIL function ===\n%s\n\n" (Ir.to_string f);
+
+  (* Activity analysis *)
+  let analysis = Activity.analyze ~wrt:[ 0 ] f in
+  Printf.printf "=== Activity analysis (w.r.t. x) ===\n";
+  Printf.printf "return is varied: %b\n" (Activity.return_is_varied f analysis);
+  Printf.printf "active instructions: %d\n\n" (Activity.active_inst_count f analysis);
+
+  (* Differentiability diagnostics *)
+  let diags = Diagnostics.check ~has_derivative:(fun _ -> true) f in
+  Printf.printf "=== Differentiability checking ===\n";
+  List.iter (fun d -> Format.printf "%a@." Diagnostics.pp d) diags;
+  if diags = [] then Printf.printf "(no diagnostics)\n";
+  Printf.printf "\n";
+
+  (* Derivative synthesis *)
+  let m = Interp.create_module () in
+  Interp.add m f;
+  let ctx = Transform.create_ctx m in
+  Printf.printf "=== Synthesized derivatives ===\n";
+  List.iter
+    (fun (x, n) ->
+      let v, g = Transform.value_with_gradient ctx "power_leaky" [| x; n |] in
+      let fd =
+        let h = 1e-6 in
+        (Interp.eval m f [| x +. h; n |] -. Interp.eval m f [| x -. h; n |])
+        /. (2.0 *. h)
+      in
+      Printf.printf
+        "f(%5.2f, %g) = %10.5f   df/dx (AD) = %10.5f   (finite diff %10.5f)\n" x
+        n v g.(0) fd)
+    [ (2.0, 3.0); (1.5, 4.0); (-2.0, 2.0); (-0.5, 3.0) ];
+
+  (* Forward mode through the same transform *)
+  let d = Transform.derivative_along ctx "power_leaky" ~at:[| 2.0; 3.0 |] ~along:[| 1.0; 0.0 |] in
+  Printf.printf "\nJVP along e_x at (2, 3): %.5f (matches the VJP column above)\n" d;
+
+  (* Optimization passes over the IR *)
+  Printf.printf "\n=== Passes: constant folding + DCE ===\n";
+  let simplified = Passes.simplify f in
+  Printf.printf "instructions: %d before, %d after simplify\n"
+    (Passes.inst_count f) (Passes.inst_count simplified);
+  Printf.printf "semantics preserved: %b\n"
+    (Interp.eval m f [| 1.7; 3.0 |]
+    = Interp.eval m simplified [| 1.7; 3.0 |])

@@ -1,0 +1,1 @@
+lib/core/diff_fn.ml: Array Forward Fun Reverse

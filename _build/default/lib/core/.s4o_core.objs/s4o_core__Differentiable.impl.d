@@ -1,0 +1,1 @@
+lib/core/differentiable.ml: Array S4o_tensor

@@ -1,0 +1,1 @@
+lib/core/forward.ml: Array Float

@@ -1,0 +1,1 @@
+lib/core/higher_order.ml: Float Fun

@@ -1,0 +1,1 @@
+lib/core/reverse.ml: Array Float

@@ -1,0 +1,145 @@
+(** Differentiable function values — the [@differentiable (A) -> B] function
+    type family of §2.1 and Figure 3.
+
+    A value of type [('a, 'da, 'b, 'db) t] bundles the original function with
+    its JVP (forward-mode derivative returning a {e differential}) and VJP
+    (reverse-mode derivative returning a {e pullback}). The Swift compiler
+    synthesizes these bundles at compile time; here they are built by the
+    combinators below, by the {!promote}* constructors (the analogue of the
+    implicit conversion inserted when an unannotated closure meets a
+    [@differentiable] context), or by the MSIL compile-time transform in
+    [S4o_sil]. *)
+
+type ('a, 'da, 'b, 'db) t = {
+  f : 'a -> 'b;  (** The original function. *)
+  jvp : 'a -> 'b * ('da -> 'db);
+      (** Forward mode: value plus differential. *)
+  vjp : 'a -> 'b * ('db -> 'da);  (** Reverse mode: value plus pullback. *)
+}
+
+(** Build a bundle from explicitly-written derivative functions — the
+    [@derivative(of:)] registration path. *)
+let make ~f ~jvp ~vjp = { f; jvp; vjp }
+
+let apply t x = t.f x
+
+(** Chain rule, in both directions: differentials compose forwards, pullbacks
+    compose backwards. *)
+let compose (g : ('b, 'db, 'c, 'dc) t) (f : ('a, 'da, 'b, 'db) t) :
+    ('a, 'da, 'c, 'dc) t =
+  {
+    f = (fun x -> g.f (f.f x));
+    jvp =
+      (fun x ->
+        let y, df = f.jvp x in
+        let z, dg = g.jvp y in
+        (z, fun dx -> dg (df dx)));
+    vjp =
+      (fun x ->
+        let y, pbf = f.vjp x in
+        let z, pbg = g.vjp y in
+        (z, fun dz -> pbf (pbg dz)));
+  }
+
+(** Parallel pair: differentiate two functions side by side. *)
+let pair (f : ('a, 'da, 'b, 'db) t) (g : ('c, 'dc, 'd, 'dd) t) :
+    ('a * 'c, 'da * 'dc, 'b * 'd, 'db * 'dd) t =
+  {
+    f = (fun (x, y) -> (f.f x, g.f y));
+    jvp =
+      (fun (x, y) ->
+        let bx, dfx = f.jvp x and by, dgy = g.jvp y in
+        ((bx, by), fun (dx, dy) -> (dfx dx, dgy dy)));
+    vjp =
+      (fun (x, y) ->
+        let bx, pbx = f.vjp x and by, pby = g.vjp y in
+        ((bx, by), fun (db, dd) -> (pbx db, pby dd)));
+  }
+
+(** The identity is differentiable with identity derivatives. *)
+let identity : ('a, 'da, 'a, 'da) t =
+  { f = Fun.id; jvp = (fun x -> (x, Fun.id)); vjp = (fun x -> (x, Fun.id)) }
+
+(** {1 Differential operators (Figure 2)} *)
+
+(** [gradient ~at f] for a scalar-valued differentiable function: seeds the
+    pullback with 1. *)
+let gradient ~at (t : ('a, 'da, float, float) t) : 'da =
+  let _, pullback = t.vjp at in
+  pullback 1.0
+
+let value_with_gradient ~at (t : ('a, 'da, float, float) t) : float * 'da =
+  let v, pullback = t.vjp at in
+  (v, pullback 1.0)
+
+(** [derivative ~at ~along f]: forward-mode directional derivative. *)
+let derivative ~at ~along (t : ('a, 'da, 'b, 'db) t) : 'db =
+  let _, differential = t.jvp at in
+  differential along
+
+let value_with_derivative ~at ~along (t : ('a, 'da, 'b, 'db) t) : 'b * 'db =
+  let v, differential = t.jvp at in
+  (v, differential along)
+
+(** {1 Implicit promotion}
+
+    §2.1: "we automatically promote functions and closures to their
+    [@differentiable] counterparts based on their use". OCaml cannot insert
+    the conversion during type checking, so the promotion is an explicit
+    constructor: the passed closure must be written against the {!Reverse}
+    (and {!Forward}) op vocabulary, and the bundle's JVP/VJP are derived by
+    running those runtime transforms. *)
+
+(** Promote an [R -> R] closure. *)
+let promote_scalar (f : Forward.t -> Forward.t) (g : Reverse.t -> Reverse.t) :
+    (float, float, float, float) t =
+  {
+    f = (fun x -> (f (Forward.const x)).Forward.v);
+    jvp =
+      (fun x ->
+        let v, d = Forward.value_and_derivative f x in
+        (v, fun dx -> dx *. d));
+    vjp =
+      (fun x ->
+        let v, d = Reverse.grad1 g x in
+        (v, fun db -> db *. d));
+  }
+
+(** Promote an [R^n -> R] closure written against the {!Reverse} ops. *)
+let promote_vector (g : Reverse.t array -> Reverse.t) :
+    (float array, float array, float, float) t =
+  {
+    f = (fun x -> fst (Reverse.grad g x));
+    jvp =
+      (fun x ->
+        (* JVP of a scalar-valued function from its gradient *)
+        let v, grad = Reverse.grad g x in
+        ( v,
+          fun dx ->
+            let acc = ref 0.0 in
+            Array.iteri (fun i gi -> acc := !acc +. (gi *. dx.(i))) grad;
+            !acc ));
+    vjp =
+      (fun x ->
+        let v, grad = Reverse.grad g x in
+        (v, fun db -> Array.map (fun gi -> db *. gi) grad));
+  }
+
+(** Promote an [R^n -> R^m] closure. The closure is supplied twice, written
+    against each op vocabulary, because the JVP runs the forward transform and
+    the VJP runs the reverse transform — exactly the two "derivative function"
+    values the Swift compiler would synthesize from one body. *)
+let promote_multi (f_fwd : Forward.t array -> Forward.t array)
+    (f_rev : Reverse.t array -> Reverse.t array) :
+    (float array, float array, float array, float array) t =
+  {
+    f = (fun x -> fst (Reverse.vjp f_rev x));
+    jvp =
+      (fun x ->
+        let v, _ = Reverse.vjp f_rev x in
+        (v, fun dx -> Forward.jvp f_fwd x dx));
+    vjp =
+      (fun x ->
+        let v, pullback = Reverse.vjp f_rev x in
+        (v, pullback));
+  }

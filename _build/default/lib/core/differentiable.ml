@@ -1,0 +1,175 @@
+(** The [Differentiable] protocol of Figure 1, transliterated to OCaml.
+
+    Swift protocols become module signatures: a differentiable type carries an
+    associated [TangentVector] type that is additive-arithmetic, plus a [move]
+    operation (the exponential map) that displaces a value along a tangent
+    vector. Because OCaml has no compiler-synthesized conformances, the
+    library also offers functors ({!Pair}, {!Triple}, {!Array_of}) that build
+    the conformance for aggregates — the moral equivalent of the Swift
+    compiler deriving [TangentVector] memberwise for a struct of
+    differentiable stored properties. *)
+
+module type ADDITIVE_ARITHMETIC = sig
+  type t
+
+  val zero : t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+end
+
+module type DIFFERENTIABLE = sig
+  type t
+
+  module Tangent : ADDITIVE_ARITHMETIC
+
+  (** [move x ~along:d] is "x + d" on the manifold. *)
+  val move : t -> along:Tangent.t -> t
+end
+
+(** [Float] is its own tangent space — the flat manifold R. *)
+module Float_diff = struct
+  type t = float
+
+  module Tangent = struct
+    type t = float
+
+    let zero = 0.0
+    let add = ( +. )
+    let sub = ( -. )
+  end
+
+  let move x ~along = x +. along
+end
+
+(** Product manifold: the tangent of a pair is the pair of tangents. *)
+module Pair (A : DIFFERENTIABLE) (B : DIFFERENTIABLE) = struct
+  type t = A.t * B.t
+
+  module Tangent = struct
+    type t = A.Tangent.t * B.Tangent.t
+
+    let zero = (A.Tangent.zero, B.Tangent.zero)
+    let add (a1, b1) (a2, b2) = (A.Tangent.add a1 a2, B.Tangent.add b1 b2)
+    let sub (a1, b1) (a2, b2) = (A.Tangent.sub a1 a2, B.Tangent.sub b1 b2)
+  end
+
+  let move (a, b) ~along:(da, db) = (A.move a ~along:da, B.move b ~along:db)
+end
+
+module Triple (A : DIFFERENTIABLE) (B : DIFFERENTIABLE) (C : DIFFERENTIABLE) =
+struct
+  type t = A.t * B.t * C.t
+
+  module Tangent = struct
+    type t = A.Tangent.t * B.Tangent.t * C.Tangent.t
+
+    let zero = (A.Tangent.zero, B.Tangent.zero, C.Tangent.zero)
+
+    let add (a1, b1, c1) (a2, b2, c2) =
+      (A.Tangent.add a1 a2, B.Tangent.add b1 b2, C.Tangent.add c1 c2)
+
+    let sub (a1, b1, c1) (a2, b2, c2) =
+      (A.Tangent.sub a1 a2, B.Tangent.sub b1 b2, C.Tangent.sub c1 c2)
+  end
+
+  let move (a, b, c) ~along:(da, db, dc) =
+    (A.move a ~along:da, B.move b ~along:db, C.move c ~along:dc)
+end
+
+(** Fixed-length arrays of a differentiable element type. The additive zero is
+    the empty array, standing for "zero of any length" (tangent addition of a
+    zero-length array is the identity), mirroring how Swift's
+    [Array.TangentVector] treats mismatched lengths. *)
+module Array_of (A : DIFFERENTIABLE) = struct
+  type t = A.t array
+
+  module Tangent = struct
+    type t = A.Tangent.t array
+
+    let zero = [||]
+
+    let map2_padded f a b =
+      if Array.length a = 0 then Array.copy b
+      else if Array.length b = 0 then Array.copy a
+      else begin
+        if Array.length a <> Array.length b then
+          invalid_arg "Array_of.Tangent: length mismatch";
+        Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+      end
+
+    let add = map2_padded A.Tangent.add
+
+    let sub a b =
+      if Array.length b = 0 then Array.copy a
+      else if Array.length a = 0 then
+        Array.map (fun x -> A.Tangent.sub A.Tangent.zero x) b
+      else map2_padded A.Tangent.sub a b
+  end
+
+  let move x ~along =
+    if Array.length along = 0 then Array.copy x
+    else begin
+      if Array.length x <> Array.length along then
+        invalid_arg "Array_of.move: length mismatch";
+      Array.init (Array.length x) (fun i -> A.move x.(i) ~along:along.(i))
+    end
+end
+
+(** Dense tensors are differentiable with themselves as tangent space. The
+    additive zero is the scalar 0, which broadcasts against any shape. *)
+module Tensor_diff = struct
+  type t = S4o_tensor.Dense.t
+
+  module Tangent = struct
+    type t = S4o_tensor.Dense.t
+
+    let zero = S4o_tensor.Dense.scalar 0.0
+    let add = S4o_tensor.Dense.add
+    let sub = S4o_tensor.Dense.sub
+  end
+
+  let move x ~along = S4o_tensor.Dense.add x along
+end
+
+(** {1 First-class (value-level) conformances}
+
+    Functor-level conformances are faithful to Figure 1, but higher-order
+    differential operators are far more convenient with the conformance
+    passed as an ordinary value. [('a, 'da) witness] is the value-level
+    rendering of [Differentiable where TangentVector == 'da]. *)
+
+type ('a, 'da) witness = {
+  zero : 'da;
+  add : 'da -> 'da -> 'da;
+  move : 'a -> 'da -> 'a;
+}
+
+let float_witness : (float, float) witness =
+  { zero = 0.0; add = ( +. ); move = ( +. ) }
+
+let pair_witness wa wb =
+  {
+    zero = (wa.zero, wb.zero);
+    add = (fun (a1, b1) (a2, b2) -> (wa.add a1 a2, wb.add b1 b2));
+    move = (fun (a, b) (da, db) -> (wa.move a da, wb.move b db));
+  }
+
+let tensor_witness :
+    (S4o_tensor.Dense.t, S4o_tensor.Dense.t) witness =
+  {
+    zero = S4o_tensor.Dense.scalar 0.0;
+    add = S4o_tensor.Dense.add;
+    move = S4o_tensor.Dense.add;
+  }
+
+(** Witness from a module conformance. *)
+module Witness_of (D : DIFFERENTIABLE) : sig
+  val witness : (D.t, D.Tangent.t) witness
+end = struct
+  let witness =
+    {
+      zero = D.Tangent.zero;
+      add = D.Tangent.add;
+      move = (fun x d -> D.move x ~along:d);
+    }
+end

@@ -1,0 +1,71 @@
+type t = { v : float; d : float }
+
+let const v = { v; d = 0.0 }
+let var v = { v; d = 1.0 }
+let make v d = { v; d }
+let add a b = { v = a.v +. b.v; d = a.d +. b.d }
+let sub a b = { v = a.v -. b.v; d = a.d -. b.d }
+let mul a b = { v = a.v *. b.v; d = (a.d *. b.v) +. (a.v *. b.d) }
+
+let div a b =
+  { v = a.v /. b.v; d = ((a.d *. b.v) -. (a.v *. b.d)) /. (b.v *. b.v) }
+
+let neg a = { v = -.a.v; d = -.a.d }
+let scale c a = { v = c *. a.v; d = c *. a.d }
+let add_const c a = { v = c +. a.v; d = a.d }
+let sin a = { v = Float.sin a.v; d = a.d *. Float.cos a.v }
+let cos a = { v = Float.cos a.v; d = -.a.d *. Float.sin a.v }
+
+let tan a =
+  let c = Float.cos a.v in
+  { v = Float.tan a.v; d = a.d /. (c *. c) }
+
+let exp a =
+  let e = Float.exp a.v in
+  { v = e; d = a.d *. e }
+
+let log a = { v = Float.log a.v; d = a.d /. a.v }
+
+let sqrt a =
+  let s = Float.sqrt a.v in
+  { v = s; d = a.d /. (2.0 *. s) }
+
+let pow a p = { v = Float.pow a.v p; d = a.d *. p *. Float.pow a.v (p -. 1.0) }
+let relu a = if a.v > 0.0 then a else { v = 0.0; d = 0.0 }
+
+let sigmoid a =
+  let s = 1.0 /. (1.0 +. Float.exp (-.a.v)) in
+  { v = s; d = a.d *. s *. (1.0 -. s) }
+
+let tanh a =
+  let th = Float.tanh a.v in
+  { v = th; d = a.d *. (1.0 -. (th *. th)) }
+
+let abs a = if a.v >= 0.0 then a else neg a
+let max a b = if a.v >= b.v then a else b
+let min a b = if a.v <= b.v then a else b
+let custom ~f ~df a = { v = f a.v; d = a.d *. df a.v }
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+end
+
+let value_and_derivative f x =
+  let r = f (var x) in
+  (r.v, r.d)
+
+let derivative f x = snd (value_and_derivative f x)
+
+let grad f x =
+  let n = Array.length x in
+  Array.init n (fun i ->
+      let inputs = Array.mapi (fun j v -> if i = j then var v else const v) x in
+      (f inputs).d)
+
+let jvp f x v =
+  let inputs = Array.mapi (fun i xi -> make xi v.(i)) x in
+  Array.map (fun r -> r.d) (f inputs)

@@ -1,0 +1,72 @@
+(** Forward-mode automatic differentiation over scalars using dual numbers:
+    each value carries its primal together with the directional derivative
+    along the seed direction. This is the runtime realization of the JVP
+    ("differential") column of Figure 3 for [R -> R] and [R^n -> R]
+    functions. *)
+
+type t = { v : float; d : float }
+
+val const : float -> t
+
+(** A variable seeded with derivative 1. *)
+val var : float -> t
+
+val make : float -> float -> t
+
+(** {1 Arithmetic} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val scale : float -> t -> t
+val add_const : float -> t -> t
+
+(** {1 Transcendental} *)
+
+val sin : t -> t
+val cos : t -> t
+val tan : t -> t
+val exp : t -> t
+val log : t -> t
+val sqrt : t -> t
+val pow : t -> float -> t
+val relu : t -> t
+val sigmoid : t -> t
+val tanh : t -> t
+val abs : t -> t
+val max : t -> t -> t
+val min : t -> t -> t
+
+(** {1 Custom derivatives}
+
+    [custom ~f ~df x] lifts a scalar function with a user-registered
+    derivative — the runtime analogue of [@derivative(of:)]. *)
+val custom : f:(float -> float) -> df:(float -> float) -> t -> t
+
+(** {1 Infix} *)
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( ~- ) : t -> t
+end
+
+(** {1 Differential operators} *)
+
+(** [derivative f x] is f'(x). *)
+val derivative : (t -> t) -> float -> float
+
+(** [value_and_derivative f x] is (f x, f'(x)). *)
+val value_and_derivative : (t -> t) -> float -> float * float
+
+(** [grad f x] computes the full gradient of an [R^n -> R] function by n
+    forward passes, one per seed direction. *)
+val grad : (t array -> t) -> float array -> float array
+
+(** [jvp f x v] is the Jacobian-vector product of an [R^n -> R^m] function:
+    one forward pass seeded with direction [v]. *)
+val jvp : (t array -> t array) -> float array -> float array -> float array

@@ -1,0 +1,90 @@
+(** Higher-order differentiation by nesting forward mode over itself.
+
+    §2.3 notes that the S4TF compile-time code transformation "currently
+    cannot transform its own output" and so does not support higher-order
+    differentiation. The {e runtime} formulation has no such limitation: a
+    dual-number interpreter parameterized over its scalar type can be
+    instantiated with itself. The paper observes that encoding this in the
+    [@differentiable] function type family would require tracking "n-times
+    differentiable"; in OCaml the same requirement surfaces as the rank-2
+    polymorphism below — the function must be written once, polymorphic over
+    any scalar implementation, to be differentiated to any order. *)
+
+(** The scalar vocabulary a differentiable-to-any-order function may use. *)
+type 'a ops = {
+  of_float : float -> 'a;
+  add : 'a -> 'a -> 'a;
+  sub : 'a -> 'a -> 'a;
+  mul : 'a -> 'a -> 'a;
+  div : 'a -> 'a -> 'a;
+  neg : 'a -> 'a;
+  sin : 'a -> 'a;
+  cos : 'a -> 'a;
+  exp : 'a -> 'a;
+  log : 'a -> 'a;
+  sqrt : 'a -> 'a;
+}
+
+(** A function definable at every differentiation order: note the
+    universally-quantified record field (rank-2 polymorphism). *)
+type fn = { apply : 'a. 'a ops -> 'a -> 'a }
+
+let float_ops : float ops =
+  {
+    of_float = Fun.id;
+    add = ( +. );
+    sub = ( -. );
+    mul = ( *. );
+    div = ( /. );
+    neg = (fun x -> -.x);
+    sin = Float.sin;
+    cos = Float.cos;
+    exp = Float.exp;
+    log = Float.log;
+    sqrt = Float.sqrt;
+  }
+
+(** Dual numbers over an arbitrary scalar: the payload of one more
+    differentiation order. *)
+let dual_ops (s : 'a ops) : ('a * 'a) ops =
+  let two = s.of_float 2.0 in
+  {
+    of_float = (fun f -> (s.of_float f, s.of_float 0.0));
+    add = (fun (av, ad) (bv, bd) -> (s.add av bv, s.add ad bd));
+    sub = (fun (av, ad) (bv, bd) -> (s.sub av bv, s.sub ad bd));
+    mul =
+      (fun (av, ad) (bv, bd) -> (s.mul av bv, s.add (s.mul ad bv) (s.mul av bd)));
+    div =
+      (fun (av, ad) (bv, bd) ->
+        (s.div av bv, s.div (s.sub (s.mul ad bv) (s.mul av bd)) (s.mul bv bv)));
+    neg = (fun (av, ad) -> (s.neg av, s.neg ad));
+    sin = (fun (av, ad) -> (s.sin av, s.mul ad (s.cos av)));
+    cos = (fun (av, ad) -> (s.cos av, s.neg (s.mul ad (s.sin av))));
+    exp =
+      (fun (av, ad) ->
+        let e = s.exp av in
+        (e, s.mul ad e));
+    log = (fun (av, ad) -> (s.log av, s.div ad av));
+    sqrt =
+      (fun (av, ad) ->
+        let r = s.sqrt av in
+        (r, s.div ad (s.mul two r)));
+  }
+
+(** [differentiate f] is f' as another any-order-differentiable function. *)
+let differentiate (f : fn) : fn =
+  {
+    apply =
+      (fun (type a) (s : a ops) (x : a) : a ->
+        let d = dual_ops s in
+        let _, dx = f.apply d (x, s.of_float 1.0) in
+        dx);
+  }
+
+let eval (f : fn) (x : float) = f.apply float_ops x
+
+(** [nth_derivative n f x] is the exact n-th derivative of [f] at [x]. *)
+let nth_derivative n (f : fn) (x : float) =
+  if n < 0 then invalid_arg "nth_derivative: negative order";
+  let rec go n f = if n = 0 then f else go (n - 1) (differentiate f) in
+  eval (go n f) x

@@ -1,0 +1,153 @@
+(* Each tape entry stores up to two parents with the local partial derivative
+   of the result w.r.t. that parent. The backward sweep walks the tape once in
+   reverse, so gradient cost is O(tape length). *)
+
+type entry = { p1 : int; d1 : float; p2 : int; d2 : float }
+
+type tape = { mutable entries : entry array; mutable len : int }
+
+type t = { tape : tape option; idx : int; v : float }
+
+let no_parent = -1
+
+let value t = t.v
+let const v = { tape = None; idx = no_parent; v }
+
+let fresh_tape () = { entries = Array.make 64 { p1 = no_parent; d1 = 0.0; p2 = no_parent; d2 = 0.0 }; len = 0 }
+
+let push tape e =
+  if tape.len = Array.length tape.entries then begin
+    let bigger = Array.make (2 * tape.len) e in
+    Array.blit tape.entries 0 bigger 0 tape.len;
+    tape.entries <- bigger
+  end;
+  tape.entries.(tape.len) <- e;
+  tape.len <- tape.len + 1;
+  tape.len - 1
+
+let merge_tapes a b =
+  match (a.tape, b.tape) with
+  | Some ta, Some tb ->
+      if ta != tb then
+        invalid_arg "Reverse: mixing variables from two gradient computations";
+      Some ta
+  | (Some _ as s), None | None, (Some _ as s) -> s
+  | None, None -> None
+
+let unary a v d =
+  match a.tape with
+  | None -> const v
+  | Some tape ->
+      let idx = push tape { p1 = a.idx; d1 = d; p2 = no_parent; d2 = 0.0 } in
+      { tape = Some tape; idx; v }
+
+let binary a b v da db =
+  match merge_tapes a b with
+  | None -> const v
+  | Some tape ->
+      let idx = push tape { p1 = a.idx; d1 = da; p2 = b.idx; d2 = db } in
+      { tape = Some tape; idx; v }
+
+let add a b = binary a b (a.v +. b.v) 1.0 1.0
+let sub a b = binary a b (a.v -. b.v) 1.0 (-1.0)
+let mul a b = binary a b (a.v *. b.v) b.v a.v
+
+let div a b =
+  binary a b (a.v /. b.v) (1.0 /. b.v) (-.a.v /. (b.v *. b.v))
+
+let neg a = unary a (-.a.v) (-1.0)
+let scale c a = unary a (c *. a.v) c
+let add_const c a = unary a (c +. a.v) 1.0
+let sin a = unary a (Float.sin a.v) (Float.cos a.v)
+let cos a = unary a (Float.cos a.v) (-.Float.sin a.v)
+
+let exp a =
+  let e = Float.exp a.v in
+  unary a e e
+
+let log a = unary a (Float.log a.v) (1.0 /. a.v)
+
+let sqrt a =
+  let s = Float.sqrt a.v in
+  unary a s (1.0 /. (2.0 *. s))
+
+let pow a p = unary a (Float.pow a.v p) (p *. Float.pow a.v (p -. 1.0))
+let relu a = if a.v > 0.0 then unary a a.v 1.0 else unary a 0.0 0.0
+
+let sigmoid a =
+  let s = 1.0 /. (1.0 +. Float.exp (-.a.v)) in
+  unary a s (s *. (1.0 -. s))
+
+let tanh a =
+  let th = Float.tanh a.v in
+  unary a th (1.0 -. (th *. th))
+
+let abs a = if a.v >= 0.0 then unary a a.v 1.0 else unary a (-.a.v) (-1.0)
+let max a b = if a.v >= b.v then binary a b a.v 1.0 0.0 else binary a b b.v 0.0 1.0
+let min a b = if a.v <= b.v then binary a b a.v 1.0 0.0 else binary a b b.v 0.0 1.0
+let custom_unary ~f ~df a = unary a (f a.v) (df a.v)
+
+let custom_binary ~f ~dfa ~dfb a b =
+  binary a b (f a.v b.v) (dfa a.v b.v) (dfb a.v b.v)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+end
+
+let last_tape_len = ref 0
+let last_tape_length () = !last_tape_len
+
+(* Run [f] on fresh variables, then sweep the tape backwards accumulating
+   adjoints from the given output seeds. *)
+let run_backward (f : t array -> t array) (x : float array) =
+  let tape = fresh_tape () in
+  let inputs =
+    Array.map
+      (fun v ->
+        let idx = push tape { p1 = no_parent; d1 = 0.0; p2 = no_parent; d2 = 0.0 } in
+        { tape = Some tape; idx; v })
+      x
+  in
+  let outputs = f inputs in
+  last_tape_len := tape.len;
+  let pullback (seeds : float array) =
+    if Array.length seeds <> Array.length outputs then
+      invalid_arg "Reverse pullback: seed arity mismatch";
+    let adj = Array.make tape.len 0.0 in
+    Array.iteri
+      (fun i o ->
+        match o.tape with
+        | Some _ -> adj.(o.idx) <- adj.(o.idx) +. seeds.(i)
+        | None -> ())
+      outputs;
+    for i = tape.len - 1 downto 0 do
+      let a = adj.(i) in
+      if a <> 0.0 then begin
+        let e = tape.entries.(i) in
+        if e.p1 <> no_parent then adj.(e.p1) <- adj.(e.p1) +. (a *. e.d1);
+        if e.p2 <> no_parent then adj.(e.p2) <- adj.(e.p2) +. (a *. e.d2)
+      end
+    done;
+    Array.map (fun inp -> adj.(inp.idx)) inputs
+  in
+  (outputs, pullback)
+
+let vjp f x =
+  let outputs, pullback = run_backward f x in
+  (Array.map value outputs, pullback)
+
+let grad f x =
+  let outputs, pullback = run_backward (fun xs -> [| f xs |]) x in
+  ((outputs.(0)).v, pullback [| 1.0 |])
+
+let grad1 f x =
+  let v, g = grad (fun xs -> f xs.(0)) [| x |] in
+  (v, g.(0))
+
+let grad2 f x y =
+  let v, g = grad (fun xs -> f xs.(0) xs.(1)) [| x; y |] in
+  (v, (g.(0), g.(1)))

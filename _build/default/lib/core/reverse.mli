@@ -1,0 +1,88 @@
+(** Reverse-mode automatic differentiation over scalars using a dynamic tape.
+
+    This is the runtime realization of the VJP ("pullback") column of
+    Figure 3 for scalar programs: the forward pass records each operation's
+    local partial derivatives; the backward pass accumulates adjoints in a
+    single sweep, so the cost of a full gradient is a small constant times the
+    cost of the primal ("efficient gradient" goal, §4.3).
+
+    Values of type {!t} are either constants (no tape) or tape variables.
+    Operations on values from two different gradient computations raise
+    [Invalid_argument]. *)
+
+type t
+
+val value : t -> float
+
+(** A constant: participates in arithmetic but receives no adjoint. *)
+val const : float -> t
+
+(** {1 Arithmetic} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val scale : float -> t -> t
+val add_const : float -> t -> t
+
+(** {1 Transcendental} *)
+
+val sin : t -> t
+val cos : t -> t
+val exp : t -> t
+val log : t -> t
+val sqrt : t -> t
+val pow : t -> float -> t
+val relu : t -> t
+val sigmoid : t -> t
+val tanh : t -> t
+val abs : t -> t
+val max : t -> t -> t
+val min : t -> t -> t
+
+(** {1 Custom derivatives (the [@derivative(of:)] analogue)} *)
+
+(** [custom_unary ~f ~df x]: [df] receives the primal input and returns the
+    local derivative used by the backward sweep. *)
+val custom_unary : f:(float -> float) -> df:(float -> float) -> t -> t
+
+(** [custom_binary ~f ~dfa ~dfb a b]: partials w.r.t. each argument. *)
+val custom_binary :
+  f:(float -> float -> float) ->
+  dfa:(float -> float -> float) ->
+  dfb:(float -> float -> float) ->
+  t ->
+  t ->
+  t
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( ~- ) : t -> t
+end
+
+(** {1 Differential operators} *)
+
+(** [grad f x] evaluates the gradient of [f] at [x] with one forward and one
+    backward sweep; returns [(f x, nabla f x)]. *)
+val grad : (t array -> t) -> float array -> float * float array
+
+(** Single-variable convenience. *)
+val grad1 : (t -> t) -> float -> float * float
+
+(** Two-variable convenience. *)
+val grad2 : (t -> t -> t) -> float -> float -> float * (float * float)
+
+(** [vjp f x] returns the primal outputs and a pullback closure mapping an
+    output cotangent to the input cotangent — the literal VJP shape of
+    Figure 3. The pullback may be invoked several times with different
+    cotangents without re-running the primal. *)
+val vjp : (t array -> t array) -> float array -> float array * (float array -> float array)
+
+(** Number of tape entries recorded by the last [grad]/[vjp] on this domain;
+    exposed for tests asserting the efficient-gradient property. *)
+val last_tape_length : unit -> int

@@ -1,0 +1,1 @@
+lib/data/dataset.ml: Array Dense Float Fun List Prng S4o_tensor Shape

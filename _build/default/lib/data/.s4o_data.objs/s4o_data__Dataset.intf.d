@@ -1,0 +1,1 @@
+lib/data/dataset.mli: S4o_tensor

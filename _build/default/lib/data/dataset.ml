@@ -1,0 +1,122 @@
+(** Synthetic stand-ins for the paper's datasets (MNIST-, CIFAR-10- and
+    ImageNet-shaped), per the substitution rule: throughput and scaling
+    results depend on tensor shapes and class counts, not on pixel contents,
+    and the learnability experiments only need a dataset a model {e can}
+    learn.
+
+    Each class [c] owns a fixed prototype image drawn from a PRNG seeded by
+    [c]; an example of class [c] is its prototype plus i.i.d. Gaussian noise.
+    With a signal-to-noise ratio comfortably above 1, even small models reach
+    high accuracy within an epoch or two — giving tests and examples a
+    learning signal to assert on — while every byte stays deterministic. *)
+
+open S4o_tensor
+
+type t = {
+  name : string;
+  images : Dense.t;  (** [\[n; h; w; c\]] *)
+  labels : int array;
+  classes : int;
+}
+
+let n_examples d = (Dense.shape d.images).(0)
+
+let make_prototyped ~name ~rng ~n ~height ~width ~channels ~classes ~noise =
+  let prototypes =
+    Array.init classes (fun c ->
+        let class_rng = Prng.create ((c * 7919) + 13) in
+        Dense.rand_uniform class_rng ~lo:0.0 ~hi:1.0 [| height; width; channels |])
+  in
+  let labels = Array.init n (fun _ -> Prng.int rng classes) in
+  let image_size = height * width * channels in
+  let images =
+    Dense.init_flat [| n; height; width; channels |] (fun flat ->
+        let i = flat / image_size and off = flat mod image_size in
+        let proto = Dense.get_flat prototypes.(labels.(i)) off in
+        proto +. Prng.gaussian rng ~mean:0.0 ~stddev:noise)
+  in
+  { name; images; labels; classes }
+
+(** 28x28x1, 10 classes. *)
+let synthetic_mnist ?(noise = 0.3) rng ~n =
+  make_prototyped ~name:"synthetic-mnist" ~rng ~n ~height:28 ~width:28
+    ~channels:1 ~classes:10 ~noise
+
+(** 32x32x3, 10 classes. *)
+let synthetic_cifar10 ?(noise = 0.3) rng ~n =
+  make_prototyped ~name:"synthetic-cifar10" ~rng ~n ~height:32 ~width:32
+    ~channels:3 ~classes:10 ~noise
+
+(** ImageNet-shaped; [size] defaults to the real 224 but can be scaled down
+    for functional tests. *)
+let synthetic_imagenet ?(noise = 0.3) ?(size = 224) ?(classes = 1000) rng ~n =
+  make_prototyped ~name:"synthetic-imagenet" ~rng ~n ~height:size ~width:size
+    ~channels:3 ~classes ~noise
+
+(** A low-dimensional two-moons-style dataset for MLP tests: class 0 on one
+    arc, class 1 on the other, embedded as [\[n; 2\]] feature vectors. *)
+let two_arcs rng ~n =
+  let labels = Array.init n (fun i -> i mod 2) in
+  let images =
+    Dense.init [| n; 1; 1; 2 |] (fun idx ->
+        let i = idx.(0) and d = idx.(3) in
+        let theta = Prng.uniform rng ~lo:0.0 ~hi:Float.pi in
+        let noise = Prng.gaussian rng ~mean:0.0 ~stddev:0.1 in
+        if labels.(i) = 0 then
+          (if d = 0 then Float.cos theta else Float.sin theta) +. noise
+        else
+          (if d = 0 then 1.0 -. Float.cos theta else 0.5 -. Float.sin theta)
+          +. noise)
+  in
+  { name = "two-arcs"; images; labels; classes = 2 }
+
+(** {1 Batching} *)
+
+(** [(images, one-hot labels, integer labels)] triples. Drops the final
+    ragged batch, as the paper's fixed-shape XLA traces require (§3.4: lazy
+    tracing "works best when the computation is done repeatedly over the same
+    constant tensor dimensions"). *)
+let batches ?shuffle_rng d ~batch_size =
+  if batch_size <= 0 then invalid_arg "Dataset.batches: batch_size must be positive";
+  let n = n_examples d in
+  let order =
+    match shuffle_rng with
+    | Some rng -> Prng.permutation rng n
+    | None -> Array.init n Fun.id
+  in
+  let shape = Dense.shape d.images in
+  let image_size = Shape.numel shape / n in
+  let n_batches = n / batch_size in
+  List.init n_batches (fun b ->
+      let idxs = Array.init batch_size (fun i -> order.((b * batch_size) + i)) in
+      let images =
+        Dense.init_flat
+          [| batch_size; shape.(1); shape.(2); shape.(3) |]
+          (fun flat ->
+            let i = flat / image_size and off = flat mod image_size in
+            Dense.get_flat d.images ((idxs.(i) * image_size) + off))
+      in
+      let labels = Array.map (fun i -> d.labels.(i)) idxs in
+      let one_hot =
+        Dense.one_hot ~classes:d.classes
+          (Dense.of_array [| batch_size |] (Array.map float_of_int labels))
+      in
+      (images, one_hot, labels))
+
+(** Split into train/test by example count. *)
+let split d ~train =
+  let n = n_examples d in
+  if train <= 0 || train >= n then invalid_arg "Dataset.split";
+  let shape = Dense.shape d.images in
+  let image_size = Shape.numel shape / n in
+  let take start count =
+    {
+      d with
+      images =
+        Dense.init_flat
+          [| count; shape.(1); shape.(2); shape.(3) |]
+          (fun flat -> Dense.get_flat d.images ((start * image_size) + flat));
+      labels = Array.sub d.labels start count;
+    }
+  in
+  (take 0 train, take train (n - train))

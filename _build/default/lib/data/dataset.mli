@@ -1,0 +1,59 @@
+(** Synthetic stand-ins for the paper's datasets (MNIST-, CIFAR-10- and
+    ImageNet-shaped), per the substitution rule of DESIGN.md: throughput and
+    scaling results depend on tensor shapes and class counts, not pixel
+    contents, and learnability experiments only need a dataset a model
+    {e can} learn.
+
+    Each class owns a fixed prototype image (seeded by the class id); an
+    example is its class prototype plus i.i.d. Gaussian noise, so small
+    models reach high accuracy within a few epochs while every byte stays
+    deterministic. *)
+
+type t = {
+  name : string;
+  images : S4o_tensor.Dense.t;  (** [\[n; h; w; c\]] *)
+  labels : int array;
+  classes : int;
+}
+
+val n_examples : t -> int
+
+(** The generic generator behind the named datasets; exposed so examples can
+    build custom layouts (e.g. sequences as [\[n; t; 1; d\]]). *)
+val make_prototyped :
+  name:string ->
+  rng:S4o_tensor.Prng.t ->
+  n:int ->
+  height:int ->
+  width:int ->
+  channels:int ->
+  classes:int ->
+  noise:float ->
+  t
+
+(** 28x28x1, 10 classes. *)
+val synthetic_mnist : ?noise:float -> S4o_tensor.Prng.t -> n:int -> t
+
+(** 32x32x3, 10 classes. *)
+val synthetic_cifar10 : ?noise:float -> S4o_tensor.Prng.t -> n:int -> t
+
+(** ImageNet-shaped; [size] defaults to 224 but can be scaled down for
+    functional tests. *)
+val synthetic_imagenet :
+  ?noise:float -> ?size:int -> ?classes:int -> S4o_tensor.Prng.t -> n:int -> t
+
+(** A low-dimensional two-class dataset ([\[n; 1; 1; 2\]]) for MLP tests. *)
+val two_arcs : S4o_tensor.Prng.t -> n:int -> t
+
+(** [(images, one-hot labels, integer labels)] triples of exactly
+    [batch_size] examples; the final ragged batch is dropped, matching the
+    fixed-shape traces lazy execution prefers (§3.4). Pass [shuffle_rng] to
+    shuffle. *)
+val batches :
+  ?shuffle_rng:S4o_tensor.Prng.t ->
+  t ->
+  batch_size:int ->
+  (S4o_tensor.Dense.t * S4o_tensor.Dense.t * int array) list
+
+(** Split into (train, test) by example count. *)
+val split : t -> train:int -> t * t

@@ -1,0 +1,1 @@
+lib/device/cluster.ml: Device_spec Float

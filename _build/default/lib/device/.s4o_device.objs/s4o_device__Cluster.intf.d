@@ -1,0 +1,1 @@
+lib/device/cluster.mli: Device_spec

@@ -1,0 +1,1 @@
+lib/device/device_spec.ml: Float Op_info

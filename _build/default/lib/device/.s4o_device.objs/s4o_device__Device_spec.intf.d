@@ -1,0 +1,1 @@
+lib/device/device_spec.mli: Op_info

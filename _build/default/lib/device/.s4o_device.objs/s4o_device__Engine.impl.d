@@ -1,0 +1,1 @@
+lib/device/engine.ml: Device_spec Float

@@ -1,0 +1,1 @@
+lib/device/engine.mli: Device_spec Op_info

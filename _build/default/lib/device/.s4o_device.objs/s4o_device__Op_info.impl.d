@@ -1,0 +1,1 @@
+lib/device/op_info.ml: Format List S4o_tensor

@@ -1,0 +1,1 @@
+lib/device/op_info.mli: Format S4o_tensor

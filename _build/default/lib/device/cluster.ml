@@ -1,0 +1,26 @@
+type t = {
+  cores : int;
+  spec : Device_spec.t;
+  link_bandwidth : float;
+  hop_latency : float;
+}
+
+let create ?(link_bandwidth = 25e9) ?(hop_latency = 30e-6) ~cores spec =
+  if cores < 1 then invalid_arg "Cluster.create: need at least one core";
+  { cores; spec; link_bandwidth; hop_latency }
+
+let cores t = t.cores
+
+let all_reduce_time t ~bytes =
+  if t.cores = 1 then 0.0
+  else begin
+    let n = float_of_int t.cores in
+    let volume = 2.0 *. (n -. 1.0) /. n *. float_of_int bytes in
+    (volume /. t.link_bandwidth) +. (2.0 *. (n -. 1.0) *. t.hop_latency)
+  end
+
+let straggler_factor = 0.025
+
+let step_time t ~compute ~host ~gradient_bytes =
+  let slowest = compute *. (1.0 +. (straggler_factor *. Float.log (float_of_int t.cores) /. Float.log 2.0 /. 7.0)) in
+  Float.max host (slowest +. all_reduce_time t ~bytes:gradient_bytes)

@@ -1,0 +1,34 @@
+(** A synchronous data-parallel accelerator cluster (Table 1's TPUv3 pods).
+
+    Each of [n] cores executes the same per-step program on its own shard of
+    the global batch, then all cores synchronously all-reduce the gradients.
+    The all-reduce uses the standard ring model: each core sends and receives
+    [2 (n-1)/n * bytes] over its link, plus a per-hop latency term — so the
+    communication time grows slowly with cluster size, which is what erodes
+    per-core throughput from 635 to 607 examples/s between 16 and 128 cores
+    in the paper. *)
+
+type t
+
+val create :
+  ?link_bandwidth:float ->
+  ?hop_latency:float ->
+  cores:int ->
+  Device_spec.t ->
+  t
+
+val cores : t -> int
+
+(** Ring all-reduce time for a gradient payload of the given size. *)
+val all_reduce_time : t -> bytes:int -> float
+
+(** [step_time t ~compute ~host ~gradient_bytes] is the wall time of one
+    synchronous training step: the slowest core's compute plus the
+    all-reduce, overlapped-free (conservative, as in lockstep SPMD), plus the
+    per-step host-side time (tracing, cache lookup, input pipeline). *)
+val step_time : t -> compute:float -> host:float -> gradient_bytes:int -> float
+
+(** Straggler model: per-step compute jitter factor applied to the slowest
+    core (defaults to 1.5% — synchronous training runs at the speed of the
+    slowest participant). *)
+val straggler_factor : float

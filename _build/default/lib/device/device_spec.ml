@@ -1,0 +1,80 @@
+(** Simulated accelerator specifications and the roofline cost model.
+
+    A kernel's device time is the classic roofline:
+    [max(flops / sustained_flops, bytes / mem_bandwidth) + kernel_launch].
+    The listed rates are {e sustained, calibrated} rates — they fold real-world
+    efficiency into one number so that the simulated results land in the same
+    regime as the paper's measured hardware (see DESIGN.md, substitutions
+    table). Contractions (matmul/conv) typically run compute-bound; the long
+    tails of small elementwise kernels run launch- and bandwidth-bound, which
+    is exactly why fusion pays off (§3.3). *)
+
+type t = {
+  name : string;
+  sustained_flops : float;  (** FLOP/s achievable by contraction kernels. *)
+  elementwise_flops : float;
+      (** FLOP/s achievable by non-contraction kernels (usually lower: such
+          kernels cannot use the matrix units). *)
+  mem_bandwidth : float;  (** bytes/s *)
+  kernel_launch : float;  (** seconds of fixed per-kernel device cost *)
+  memory_capacity : int;  (** bytes of device memory *)
+}
+
+let kernel_time spec (op : Op_info.t) =
+  let peak =
+    match op.kind with
+    | Contraction -> spec.sustained_flops
+    | Fused _ -> spec.sustained_flops
+    | Elementwise | Reduction | Data_movement -> spec.elementwise_flops
+  in
+  let compute = float_of_int op.flops /. peak in
+  let memory = float_of_int (op.bytes_in + op.bytes_out) /. spec.mem_bandwidth in
+  Float.max compute memory +. spec.kernel_launch
+
+(** A commodity NVIDIA GTX 1080-class GPU (Table 3). *)
+let gtx1080 =
+  {
+    name = "sim-gtx1080";
+    sustained_flops = 1.47e12;
+    (* of 8.9 TFLOPS peak: sustained on small CIFAR-sized conv kernels *)
+    elementwise_flops = 1.0e12;
+    mem_bandwidth = 300e9;
+    kernel_launch = 6e-6;
+    memory_capacity = 8 * 1024 * 1024 * 1024;
+  }
+
+(** One TPUv3 core (Tables 1–2). Sustained rate calibrated so a ResNet-50
+    training step lands near the paper's ~630 examples/s/core. *)
+let tpu_v3_core =
+  {
+    name = "sim-tpuv3-core";
+    sustained_flops = 18.0e12;
+    elementwise_flops = 3.0e12;
+    mem_bandwidth = 900e9;
+    kernel_launch = 2e-6;
+    memory_capacity = 16 * 1024 * 1024 * 1024;
+  }
+
+(** A mobile-phone CPU core (Pixel-3 class, Table 4). No NEON vectorization,
+    matching the paper's note that the Swift compiler could not emit NEON for
+    this model. *)
+let mobile_cpu =
+  {
+    name = "sim-mobile-cpu";
+    sustained_flops = 2.0e9;
+    elementwise_flops = 1.5e9;
+    mem_bandwidth = 8e9;
+    kernel_launch = 1e-7;
+    memory_capacity = 4 * 1024 * 1024 * 1024;
+  }
+
+(** A desktop CPU core, used by the naive backend when a device is needed. *)
+let desktop_cpu =
+  {
+    name = "sim-desktop-cpu";
+    sustained_flops = 50e9;
+    elementwise_flops = 20e9;
+    mem_bandwidth = 30e9;
+    kernel_launch = 5e-8;
+    memory_capacity = 32 * 1024 * 1024 * 1024;
+  }

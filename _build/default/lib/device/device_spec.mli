@@ -1,0 +1,36 @@
+(** Simulated accelerator specifications and the roofline cost model.
+
+    A kernel's device time is the classic roofline —
+    [max(flops / rate, bytes / bandwidth) + launch] — where the rate is the
+    contraction rate for matmul/conv/fused kernels and the (lower)
+    elementwise rate otherwise. The listed rates are {e sustained,
+    calibrated} values: they fold real-world kernel efficiency into one
+    number so the simulated results land in the same regime as the paper's
+    hardware (see DESIGN.md's substitution table and EXPERIMENTS.md's
+    calibration notes). *)
+
+type t = {
+  name : string;
+  sustained_flops : float;  (** FLOP/s for contraction and fused kernels. *)
+  elementwise_flops : float;
+      (** FLOP/s for non-contraction kernels (no matrix units). *)
+  mem_bandwidth : float;  (** bytes/s *)
+  kernel_launch : float;  (** seconds of fixed per-kernel device cost *)
+  memory_capacity : int;  (** bytes of device memory *)
+}
+
+(** Roofline time of one kernel on this device. *)
+val kernel_time : t -> Op_info.t -> float
+
+(** A commodity NVIDIA GTX 1080-class GPU (Table 3). *)
+val gtx1080 : t
+
+(** One TPUv3 core (Tables 1–2). *)
+val tpu_v3_core : t
+
+(** A Pixel-3-class mobile CPU core (Table 4). *)
+val mobile_cpu : t
+
+(** A desktop CPU core, the default when a device is needed but timing is
+    not under study. *)
+val desktop_cpu : t

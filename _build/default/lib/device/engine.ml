@@ -1,0 +1,61 @@
+type t = {
+  spec : Device_spec.t;
+  mutable host : float;
+  mutable device_ready : float;
+  mutable kernels : int;
+  mutable busy : float;
+  mutable stalled : float;
+  mutable live : int;
+  mutable peak : int;
+}
+
+let create spec =
+  {
+    spec;
+    host = 0.0;
+    device_ready = 0.0;
+    kernels = 0;
+    busy = 0.0;
+    stalled = 0.0;
+    live = 0;
+    peak = 0;
+  }
+
+let spec t = t.spec
+let host_time t = t.host
+let device_ready_at t = t.device_ready
+let spend_host t dt = t.host <- t.host +. dt
+
+let dispatch t op =
+  let time = Device_spec.kernel_time t.spec op in
+  let start = Float.max t.host t.device_ready in
+  t.device_ready <- start +. time;
+  t.kernels <- t.kernels + 1;
+  t.busy <- t.busy +. time;
+  t.device_ready
+
+let sync t =
+  if t.device_ready > t.host then begin
+    t.stalled <- t.stalled +. (t.device_ready -. t.host);
+    t.host <- t.device_ready
+  end
+
+let pipeline_depth t = Float.max 0.0 (t.device_ready -. t.host)
+let kernels_launched t = t.kernels
+let device_busy_time t = t.busy
+let host_stall_time t = t.stalled
+let live_bytes t = t.live
+let peak_bytes t = t.peak
+
+let alloc t bytes =
+  t.live <- t.live + bytes;
+  if t.live > t.peak then t.peak <- t.live
+
+let free t bytes = t.live <- max 0 (t.live - bytes)
+
+let reset t =
+  t.host <- 0.0;
+  t.device_ready <- 0.0;
+  t.kernels <- 0;
+  t.busy <- 0.0;
+  t.stalled <- 0.0

@@ -1,0 +1,56 @@
+(** A simulated asynchronous accelerator.
+
+    §3.2: kernels are "dispatched to the accelerator to execute
+    asynchronously and control is returned to the user's program before the
+    kernel finishes"; as long as no Tensor contents are observed, "the user's
+    program runs ahead and fills a pipeline of accelerator kernel
+    invocations".
+
+    The engine keeps two simulated clocks: the {e host} clock (advanced by
+    dispatch overheads, tracing, compilation) and the {e device} clock (the
+    time at which the device will have drained its kernel queue). Dispatching
+    costs host time and enqueues device time; {!sync} advances the host clock
+    to the device's completion time — the "observe a Tensor" stall. *)
+
+type t
+
+val create : Device_spec.t -> t
+val spec : t -> Device_spec.t
+
+(** Current simulated host time (seconds). *)
+val host_time : t -> float
+
+(** Simulated time at which all queued kernels finish. *)
+val device_ready_at : t -> float
+
+(** Advance the host clock only (dispatch overhead, tracing, compiling...). *)
+val spend_host : t -> float -> unit
+
+(** [dispatch t op] charges the kernel to the device queue: the kernel starts
+    when both the host has issued it and the device is free. Returns the
+    kernel's simulated completion time. *)
+val dispatch : t -> Op_info.t -> float
+
+(** Block the host until the device queue drains. *)
+val sync : t -> unit
+
+(** How far ahead of the host the device queue currently reaches — the
+    pipeline depth in seconds. *)
+val pipeline_depth : t -> float
+
+(** {1 Statistics} *)
+
+val kernels_launched : t -> int
+val device_busy_time : t -> float
+val host_stall_time : t -> float
+
+(** Bytes of device memory currently attributed to live allocations; tracked
+    explicitly by the runtimes via {!alloc} and {!free}. *)
+val live_bytes : t -> int
+
+val peak_bytes : t -> int
+val alloc : t -> int -> unit
+val free : t -> int -> unit
+
+(** Reset clocks and statistics (allocations persist). *)
+val reset : t -> unit

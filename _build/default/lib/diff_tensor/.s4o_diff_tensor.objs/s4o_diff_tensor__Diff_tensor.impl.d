@@ -1,0 +1,1 @@
+lib/diff_tensor/diff_tensor.ml: Array List S4o_tensor

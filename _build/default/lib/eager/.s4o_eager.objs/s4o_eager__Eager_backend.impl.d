@@ -1,0 +1,1 @@
+lib/eager/eager_backend.ml: Backend_intf Dense Runtime S4o_ops S4o_tensor

@@ -1,0 +1,1 @@
+lib/eager/runtime.ml: S4o_device S4o_ops

@@ -1,0 +1,1 @@
+lib/eager/runtime.mli: S4o_device S4o_ops S4o_tensor

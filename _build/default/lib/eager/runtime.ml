@@ -1,0 +1,24 @@
+type t = {
+  engine : S4o_device.Engine.t;
+  dispatch_overhead : float;
+  mutable ops : int;
+}
+
+(* Default per-op host overhead of the S4TF eager runtime, calibrated to the
+   Table 3 regime (op-by-op dispatch through a dynamic runtime). *)
+let default_dispatch_overhead = 120e-6
+
+let create ?(dispatch_overhead = default_dispatch_overhead) engine =
+  { engine; dispatch_overhead; ops = 0 }
+
+let engine t = t.engine
+
+let dispatch t (op : S4o_ops.Catalog.op) args =
+  S4o_device.Engine.spend_host t.engine t.dispatch_overhead;
+  ignore (S4o_device.Engine.dispatch t.engine op.info);
+  t.ops <- t.ops + 1;
+  op.kernel args
+
+let sync t = S4o_device.Engine.sync t.engine
+let ops_dispatched t = t.ops
+let host_time t = S4o_device.Engine.host_time t.engine

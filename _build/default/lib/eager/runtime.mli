@@ -1,0 +1,29 @@
+(** The eager ("define-by-run") runtime of §3.2, modeled on TensorFlow Eager:
+    every Tensor operation is dispatched op-by-op to a pre-compiled kernel on
+    the simulated accelerator. Dispatch costs host time (the per-op overhead
+    that Table 3 shows dominating small-kernel workloads); kernels execute
+    asynchronously, so the host "runs ahead and fills a pipeline" until the
+    program observes a Tensor's contents. *)
+
+type t
+
+(** [create ?dispatch_overhead engine]: [dispatch_overhead] is the simulated
+    host seconds consumed per dispatched op (runtime-dependent — the S4TF
+    eager runtime's is high; an optimized native eager like PyTorch's is
+    lower). *)
+val create : ?dispatch_overhead:float -> S4o_device.Engine.t -> t
+
+val engine : t -> S4o_device.Engine.t
+
+(** Execute one catalog op: charge dispatch overhead, enqueue the kernel, and
+    compute its value with the reference kernel. *)
+val dispatch : t -> S4o_ops.Catalog.op -> S4o_tensor.Dense.t array -> S4o_tensor.Dense.t
+
+(** Block the (simulated) host until the device pipeline drains — what
+    observing a Tensor's contents does. *)
+val sync : t -> unit
+
+val ops_dispatched : t -> int
+
+(** Simulated host seconds so far. *)
+val host_time : t -> float

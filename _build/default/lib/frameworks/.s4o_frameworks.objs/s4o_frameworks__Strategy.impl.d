@@ -1,0 +1,1 @@
+lib/frameworks/strategy.ml: Float List S4o_device S4o_xla

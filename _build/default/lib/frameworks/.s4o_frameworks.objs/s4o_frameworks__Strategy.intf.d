@@ -1,0 +1,1 @@
+lib/frameworks/strategy.mli: S4o_device S4o_xla

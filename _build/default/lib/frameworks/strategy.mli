@@ -1,0 +1,61 @@
+(** Framework execution strategies — the baselines of Tables 2 and 3.
+
+    All frameworks in the paper's comparisons execute the {e same}
+    mathematical training step; what differs is how the step reaches the
+    accelerator. Each strategy is therefore a small mechanical model applied
+    to one shared HLO step graph:
+
+    - per-op host cost (eager dispatch, or per-op trace recording),
+    - fixed per-step host cost (session dispatch, input pipeline),
+    - whether the program is re-traced every step (§3.4's LazyTensor
+      overhead) or staged once ([@jit] / [@tf.function] / graph mode),
+    - whether kernels run fused (XLA-style clusters) or one per node,
+    - a kernel-efficiency factor capturing how well that framework's kernel
+      library is tuned for the device (cuDNN vs XLA-GPU, and Table 2's
+      "some codebases have been better optimized for benchmark purposes").
+
+    Steady-state step time is [max(host, device)]: the host pipeline overlaps
+    the device queue (§3.2), so whichever is slower bounds throughput. *)
+
+type t = {
+  name : string;
+  per_op_host : float;  (** host seconds per compute node per step *)
+  per_step_host : float;  (** fixed host seconds per step *)
+  staged : bool;  (** true: traced/compiled once, no per-step per-op cost *)
+  fused : bool;  (** true: runs XLA-style fusion clusters *)
+  kernel_efficiency : float;
+      (** multiplier on kernel time; < 1 means faster kernels *)
+}
+
+(** S4TF eager mode (Table 3): op-by-op dispatch through the TF-eager-based
+    runtime — the highest per-op host cost in the comparison. *)
+val s4o_eager : t
+
+(** S4TF LazyTensor (Tables 1–3): re-traces every step, executes fused. *)
+val s4o_lazy : t
+
+(** PyTorch-style optimized native eager: low dispatch cost, cuDNN-class
+    kernels, no cross-op fusion. *)
+val pytorch_like : t
+
+(** TensorFlow graph mode: staged once, moderately fused, heavily tuned
+    kernels and input pipeline. *)
+val tf_graph_like : t
+
+(** JAX [@jit]: staged once through XLA, fully fused. *)
+val jax_like : t
+
+type breakdown = {
+  host_seconds : float;
+  device_seconds : float;
+  step_seconds : float;  (** max of the two *)
+  kernels : int;
+}
+
+(** One steady-state training-step time for the given strategy on the given
+    device, from a step graph. (Compile/warmup cost is excluded: all the
+    paper's throughput numbers are post-warmup.) *)
+val step_time : t -> device:S4o_device.Device_spec.t -> graph:S4o_xla.Hlo.graph -> breakdown
+
+(** Examples/second given the per-step batch size. *)
+val throughput : batch:int -> breakdown -> float

@@ -1,0 +1,1 @@
+lib/lazy_tensor/lazy_backend.ml: Lazy_runtime S4o_ops Trace

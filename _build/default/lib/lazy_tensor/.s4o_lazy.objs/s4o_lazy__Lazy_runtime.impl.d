@@ -1,0 +1,1 @@
+lib/lazy_tensor/lazy_runtime.ml: Array Hashtbl List Option S4o_device S4o_xla Trace

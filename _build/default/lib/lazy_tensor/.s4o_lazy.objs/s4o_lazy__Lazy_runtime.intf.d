@@ -1,0 +1,1 @@
+lib/lazy_tensor/lazy_runtime.mli: S4o_device S4o_tensor Trace

@@ -1,0 +1,1 @@
+lib/lazy_tensor/trace.ml: Dense Hashtbl List S4o_ops S4o_tensor S4o_xla Shape

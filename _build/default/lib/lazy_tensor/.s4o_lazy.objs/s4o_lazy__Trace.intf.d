@@ -1,0 +1,1 @@
+lib/lazy_tensor/trace.mli: Dense S4o_ops S4o_tensor S4o_xla Shape

@@ -1,0 +1,158 @@
+type stats = {
+  traces_cut : int;
+  cache_hits : int;
+  cache_misses : int;
+  ops_traced : int;
+  largest_trace : int;
+}
+
+type t = {
+  engine : S4o_device.Engine.t;
+  trace_overhead_per_op : float;
+  cache_enabled : bool;
+  auto_cut_threshold : int option;
+  cache : (int, S4o_xla.Compiler.executable) Hashtbl.t;
+  mutable traces_cut : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable ops_traced : int;
+  mutable largest_trace : int;
+  mutable ops_since_cut : int;
+  mutable auto_cuts : int;
+  mutable recent : Trace.node list;
+      (* nodes recorded since the last cut, newest first: the frontier an
+         automatic cut materializes *)
+}
+
+(* Host cost of recording one trace op, paid every iteration (§3.4). *)
+let default_trace_overhead = 15e-6
+
+let create ?(trace_overhead_per_op = default_trace_overhead)
+    ?(cache_enabled = true) ?auto_cut_threshold engine =
+  (match auto_cut_threshold with
+  | Some n when n <= 0 ->
+      invalid_arg "Lazy_runtime.create: auto_cut_threshold must be positive"
+  | Some _ | None -> ());
+  {
+    engine;
+    trace_overhead_per_op;
+    cache_enabled;
+    auto_cut_threshold;
+    cache = Hashtbl.create 16;
+    traces_cut = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    ops_traced = 0;
+    largest_trace = 0;
+    ops_since_cut = 0;
+    auto_cuts = 0;
+    recent = [];
+  }
+
+let engine t = t.engine
+
+let stats t =
+  {
+    traces_cut = t.traces_cut;
+    cache_hits = t.cache_hits;
+    cache_misses = t.cache_misses;
+    ops_traced = t.ops_traced;
+    largest_trace = t.largest_trace;
+  }
+
+let dedup_roots roots =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun (r : Trace.node) ->
+      if Hashtbl.mem seen r.Trace.id then false
+      else begin
+        Hashtbl.add seen r.Trace.id ();
+        true
+      end)
+    roots
+
+let materialize t roots =
+  let roots =
+    dedup_roots (List.filter (fun r -> Trace.is_pending r) roots)
+  in
+  t.ops_since_cut <- 0;
+  t.recent <- [];
+  if roots <> [] then begin
+    let graph, leaves, pending = Trace.to_hlo roots in
+    let n_ops = List.length pending in
+    t.traces_cut <- t.traces_cut + 1;
+    t.ops_traced <- t.ops_traced + n_ops;
+    if n_ops > t.largest_trace then t.largest_trace <- n_ops;
+    (* Re-tracing overhead: paid on every iteration even on cache hits. *)
+    S4o_device.Engine.spend_host t.engine
+      (t.trace_overhead_per_op *. float_of_int n_ops);
+    let fp = S4o_xla.Hlo.fingerprint graph in
+    let exe =
+      match
+        if t.cache_enabled then Hashtbl.find_opt t.cache fp else None
+      with
+      | Some exe ->
+          t.cache_hits <- t.cache_hits + 1;
+          exe
+      | None ->
+          t.cache_misses <- t.cache_misses + 1;
+          let exe = S4o_xla.Compiler.compile ~engine:t.engine graph in
+          if t.cache_enabled then Hashtbl.replace t.cache fp exe;
+          exe
+    in
+    let feeds =
+      List.map
+        (fun (l : Trace.node) ->
+          match l.Trace.state with
+          | Trace.Materialized v -> Some v
+          | Trace.Simulated -> None
+          | Trace.Pending -> assert false)
+        leaves
+    in
+    if List.for_all Option.is_some feeds then begin
+      let outputs =
+        S4o_xla.Compiler.run exe t.engine
+          (Array.of_list (List.map Option.get feeds))
+      in
+      List.iteri
+        (fun i (r : Trace.node) ->
+          r.Trace.state <- Trace.Materialized outputs.(i))
+        roots
+    end
+    else begin
+      S4o_xla.Compiler.simulate exe t.engine;
+      List.iter (fun (r : Trace.node) -> r.Trace.state <- Trace.Simulated) roots
+    end
+  end
+
+let barrier = materialize
+
+(* S3.4 future work, implemented: automatic trace cutting. Each recorded op
+   bumps a counter; once the pending fragment is "sufficiently large", the
+   runtime cuts and dispatches it on its own, relieving the user of barrier
+   annotations entirely. *)
+let note_recorded t node =
+  match t.auto_cut_threshold with
+  | None -> ()
+  | Some threshold ->
+      t.ops_since_cut <- t.ops_since_cut + 1;
+      t.recent <- node :: t.recent;
+      if t.ops_since_cut >= threshold then begin
+        t.auto_cuts <- t.auto_cuts + 1;
+        (* cut the whole recorded frontier, not just this node's ancestors:
+           later nodes subsume earlier ones where they are connected, and
+           disconnected chains get dispatched too, so no fragment is left to
+           accumulate across steps *)
+        materialize t t.recent
+      end
+
+let auto_cuts t = t.auto_cuts
+
+let force t node =
+  materialize t [ node ];
+  S4o_device.Engine.sync t.engine;
+  match node.Trace.state with
+  | Trace.Materialized v -> v
+  | Trace.Simulated ->
+      invalid_arg "Lazy_runtime.force: node executed in timing-only mode"
+  | Trace.Pending -> assert false

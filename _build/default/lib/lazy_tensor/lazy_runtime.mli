@@ -1,0 +1,63 @@
+(** The LazyTensor runtime (§3.3–3.4): cuts traces, JIT-compiles them via the
+    XLA-style compiler, and caches compiled programs by trace fingerprint so
+    that "each unique trace is only compiled by XLA once". Tracing overhead
+    is still paid on every iteration — the §3.4 limitation Table 3
+    quantifies — because the full imperative programming model means traces
+    can change at any point.
+
+    The runtime operates in one of two value modes:
+    - {e compute} (default): executing a trace computes real tensor values;
+    - {e timing-only}: executions advance the simulated clocks but never
+      compute values, enabling full-scale ResNet/ImageNet benchmarks. *)
+
+type t
+
+type stats = {
+  traces_cut : int;
+  cache_hits : int;
+  cache_misses : int;
+  ops_traced : int;
+  largest_trace : int;
+}
+
+(** [create ?trace_overhead_per_op ?cache_enabled ?auto_cut_threshold
+    engine]: [trace_overhead_per_op] is the simulated host cost of recording
+    one op on each iteration; [cache_enabled:false] recompiles every trace
+    (the cache ablation); [auto_cut_threshold] enables the automatic
+    trace-cutting of §3.4's future work — once that many ops have been
+    recorded since the last cut, the runtime dispatches the fragment on its
+    own, with no user annotations. *)
+val create :
+  ?trace_overhead_per_op:float ->
+  ?cache_enabled:bool ->
+  ?auto_cut_threshold:int ->
+  S4o_device.Engine.t ->
+  t
+
+val engine : t -> S4o_device.Engine.t
+val stats : t -> stats
+
+(** [materialize t roots] cuts the pending trace reachable from [roots],
+    compiles it (or hits the program cache), and executes it. Roots become
+    [Materialized] (compute mode, all leaves real) or [Simulated]. Does not
+    synchronize: kernels drain asynchronously. *)
+val materialize : t -> Trace.node list -> unit
+
+(** [LazyTensorBarrier()] (§3.4): explicitly cut and dispatch the trace at
+    this program point. Identical to {!materialize}; the distinct name
+    mirrors the user-facing API, and the training loop calls it after each
+    optimizer step on the user's behalf. *)
+val barrier : t -> Trace.node list -> unit
+
+(** Called by the backend after recording each op; triggers an automatic cut
+    when the threshold is reached. A no-op unless [auto_cut_threshold] was
+    given. *)
+val note_recorded : t -> Trace.node -> unit
+
+(** Number of automatic cuts performed so far. *)
+val auto_cuts : t -> int
+
+(** Force a node's concrete contents: materializes if needed and blocks the
+    simulated host until the device drains. Raises [Invalid_argument] for
+    timing-only nodes. *)
+val force : t -> Trace.node -> S4o_tensor.Dense.t

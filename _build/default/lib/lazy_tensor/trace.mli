@@ -1,0 +1,48 @@
+(** LazyTensor trace nodes (§3.3): instead of dispatching to pre-compiled
+    kernels, each Tensor operation "simply records a dynamic trace of
+    operations to be executed at a later time". Traces are in-memory DAGs
+    (Figure 4); cutting a trace converts the pending region into an HLO
+    graph whose parameters are the already-materialized leaves.
+
+    A node's lifecycle: born [Pending] (recorded, not executed); after the
+    trace containing it is cut and run it becomes [Materialized] (value on
+    "device") or [Simulated] (timing-only mode: only the simulated clock
+    advanced). Non-pending nodes act as leaves — parameters — of later
+    traces, which keeps trace fingerprints independent of parameter values
+    and makes the program cache effective across training steps. *)
+
+open S4o_tensor
+
+type state =
+  | Pending
+  | Materialized of Dense.t
+  | Simulated
+
+type node = {
+  id : int;
+  op : S4o_ops.Catalog.op option;  (** [None] for data leaves. *)
+  args : node list;
+  shape : Shape.t;
+  mutable state : state;
+}
+
+(** A concrete-data leaf ("device data"). *)
+val leaf : Dense.t -> node
+
+(** A shape-only leaf for timing-model runs: behaves like device data whose
+    contents are never observed. *)
+val placeholder : Shape.t -> node
+
+(** Record one op application (shape comes from the catalog entry). *)
+val record : S4o_ops.Catalog.op -> node list -> node
+
+val is_pending : node -> bool
+
+(** The pending region reachable from the roots, in topological order, plus
+    the non-pending leaves it stops at (the future graph parameters, in
+    discovery order). *)
+val pending_region : node list -> node list * node list
+
+(** Convert the pending region to an HLO graph. Returns the graph, the
+    leaves in parameter order, and the pending nodes in topological order. *)
+val to_hlo : node list -> S4o_xla.Hlo.graph * node list * node list

@@ -1,0 +1,1 @@
+lib/mobile/mobile_runtime.ml: S4o_spline

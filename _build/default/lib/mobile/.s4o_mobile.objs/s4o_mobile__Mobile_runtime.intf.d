@@ -1,0 +1,1 @@
+lib/mobile/mobile_runtime.mli: S4o_spline S4o_tensor

@@ -1,0 +1,152 @@
+type style = Tf_mobile | Tf_lite | Tf_lite_fused | S4o_aot
+
+let style_name = function
+  | Tf_mobile -> "TF Mobile (interpreted graph)"
+  | Tf_lite -> "TF Lite (standard ops)"
+  | Tf_lite_fused -> "TF Lite (fused custom op)"
+  | S4o_aot -> "S4O (AOT compiled)"
+
+let all_styles = [ Tf_mobile; Tf_lite; Tf_lite_fused; S4o_aot ]
+
+type workload = {
+  iterations : int;
+  function_evals : int;
+  gradient_evals : int;
+  flops_per_function_eval : int;
+  flops_per_gradient_eval : int;
+  graph_ops_per_function_eval : int;
+  graph_ops_per_gradient_eval : int;
+  model_params : int;
+  data_points : int;
+}
+
+type report = {
+  style : style;
+  train_ms : float;
+  memory_mb : float;
+  binary_mb : float;
+}
+
+(* Per-style mechanical constants. Rates are sustained scalar/vector rates on
+   a Pixel-3-class core; dispatch costs are per interpreted graph node. The
+   shapes these produce — interpreter >> unfused kernels > AOT scalar code >
+   fused kernel, and S4TF smallest in memory — are the Table 4 claims. *)
+
+(* TF Mobile: a full graph interpreter with reference kernels. *)
+let tf_mobile_dispatch = 100e-6 (* s per graph node: session + dynamic dispatch *)
+let tf_mobile_flops = 0.25e9 (* unvectorized reference kernels *)
+let tf_mobile_runtime_mb = 79.5
+let tf_mobile_binary_mb = 6.2
+
+(* TF Lite: slim interpreter, vectorized kernels, but every op writes its
+   result back to memory (no fusion). *)
+let tf_lite_dispatch = 1.2e-6
+let tf_lite_flops = 0.74e9 (* vector kernels, memory-bound between ops *)
+let tf_lite_runtime_mb = 12.0
+let tf_lite_binary_mb = 1.8
+
+(* TF Lite with the training step fused into one custom kernel: best
+   sustained rate, one dispatch per evaluation. *)
+let tf_lite_fused_dispatch = 1.2e-6
+let tf_lite_fused_flops = 2.6e9
+let tf_lite_fused_runtime_mb = 6.0
+let tf_lite_fused_binary_mb = 1.8
+
+(* S4O AOT: no interpreter (dispatch = a function call), but scalar code —
+   the compiler "was unable to generate appropriate NEON vector
+   instructions" (§5.1.3). *)
+let s4o_call_overhead = 0.05e-6
+let s4o_flops = 1.25e9
+let s4o_runtime_mb = 4.0 (* language runtime + allocator only *)
+let s4o_binary_mb = 3.6 (* app code + language runtime, no interpreter *)
+
+let bytes_mb b = float_of_int b /. (1024.0 *. 1024.0)
+
+let simulate style w =
+  let total_flops =
+    (w.function_evals * w.flops_per_function_eval)
+    + (w.gradient_evals * w.flops_per_gradient_eval)
+  in
+  let total_graph_ops =
+    (w.function_evals * w.graph_ops_per_function_eval)
+    + (w.gradient_evals * w.graph_ops_per_gradient_eval)
+  in
+  let total_evals = w.function_evals + w.gradient_evals in
+  let data_bytes = 8 * ((w.model_params * 4) + (w.data_points * 2)) in
+  let seconds, working_mb, binary_mb =
+    match style with
+    | Tf_mobile ->
+        ( (float_of_int total_graph_ops *. tf_mobile_dispatch)
+          +. (float_of_int total_flops /. tf_mobile_flops),
+          tf_mobile_runtime_mb,
+          tf_mobile_binary_mb )
+    | Tf_lite ->
+        ( (float_of_int total_graph_ops *. tf_lite_dispatch)
+          +. (float_of_int total_flops /. tf_lite_flops),
+          tf_lite_runtime_mb,
+          tf_lite_binary_mb )
+    | Tf_lite_fused ->
+        (* one fused kernel per evaluation *)
+        ( (float_of_int total_evals *. tf_lite_fused_dispatch)
+          +. (float_of_int total_flops /. tf_lite_fused_flops),
+          tf_lite_fused_runtime_mb,
+          tf_lite_fused_binary_mb )
+    | S4o_aot ->
+        ( (float_of_int total_evals *. s4o_call_overhead)
+          +. (float_of_int total_flops /. s4o_flops),
+          s4o_runtime_mb,
+          s4o_binary_mb )
+  in
+  {
+    style;
+    train_ms = seconds *. 1000.0;
+    memory_mb = working_mb +. bytes_mb data_bytes;
+    binary_mb;
+  }
+
+let run_fine_tuning ?(n_knots = 96) ?(n_data = 4000) ?(noise = 0.05)
+    ~user_shift rng =
+  let module Sp = S4o_spline.Spline in
+  let module Ls = S4o_spline.Line_search in
+  (* Stage 1: the "global" model trained on aggregated data (server-side in
+     the paper; here it just seeds the on-device stage). *)
+  let global_data = Sp.sample_global rng ~n:n_data ~noise in
+  let base = Sp.create ~x_min:0.0 ~x_max:3.0 ~n_knots ~init:0.0 in
+  let fit data start =
+    Ls.minimize
+      ~config:{ Ls.default_config with max_iterations = 1500; grad_tolerance = 2e-5 }
+      ~f:(fun knots -> Sp.loss { base with Sp.knots } data)
+      ~f_grad:(fun knots -> Sp.loss_grad { base with Sp.knots } data)
+      start
+  in
+  let global_knots, _ = fit global_data base.Sp.knots in
+  (* Stage 2: fine-tune on the user's local data — the on-device workload
+     Table 4 measures. *)
+  let user_data = Sp.sample_user rng ~user_shift ~n:n_data ~noise in
+  let user_knots, stats = fit user_data global_knots in
+  let personalized = { base with Sp.knots = user_knots } in
+  (* Measure the workload: scalar flops per evaluation from the tape length
+     (forward ~1 flop per tape entry; the reverse sweep ~2 more), graph ops
+     from the vector-granularity structure of the computation. *)
+  let tape_len = Sp.tape_ops_per_eval personalized user_data in
+  let flops_fwd = tape_len in
+  let flops_grad = 3 * tape_len in
+  (* An interpreter executes the loss as a graph over length-[n_data]
+     vectors: gather 4 knot vectors, 4 scales, 3 adds, sub, square, mean ~ 14
+     nodes, about double for the backward graph. *)
+  let graph_ops_fwd = 14 in
+  let graph_ops_grad = 42 in
+  let workload =
+    {
+      iterations = stats.Ls.iterations;
+      function_evals = stats.Ls.function_evals;
+      gradient_evals = stats.Ls.gradient_evals;
+      flops_per_function_eval = flops_fwd;
+      flops_per_gradient_eval = flops_grad;
+      graph_ops_per_function_eval = graph_ops_fwd;
+      graph_ops_per_gradient_eval = graph_ops_grad;
+      model_params = n_knots;
+      data_points = n_data;
+    }
+  in
+  (workload, personalized, stats)

@@ -1,0 +1,61 @@
+(** On-device training runtimes (Table 4): four implementation styles of the
+    same spline fine-tuning algorithm, differing in how the computation
+    reaches the phone's CPU.
+
+    - {b Tf_mobile}: the full TensorFlow runtime interpreting a graph
+      op-by-op — large interpreter, per-node dynamic dispatch, unvectorized
+      reference kernels.
+    - {b Tf_lite}: a slim interpreter over pre-compiled vector kernels —
+      small per-op dispatch, but each op round-trips its operands through
+      memory (no fusion).
+    - {b Tf_lite_fused}: the entire training step hand-fused into one custom
+      kernel — pure compute at the hardware's best sustained rate.
+    - {b S4o_aot}: the model code AOT-compiled directly (the S4TF story) —
+      no interpreter at all, but scalar code without NEON vectorization, as
+      the paper notes the Swift compiler produced at the time.
+
+    The fine-tuning itself runs for real ({!run_fine_tuning} drives the
+    actual spline + line-search code and verifies convergence); the four
+    styles then convert the measured workload (evaluations, op counts,
+    flops) into simulated time, peak memory, and binary size through each
+    style's mechanical cost story. *)
+
+type style = Tf_mobile | Tf_lite | Tf_lite_fused | S4o_aot
+
+val style_name : style -> string
+val all_styles : style list
+
+(** What one fine-tuning run actually did — measured, not modeled. *)
+type workload = {
+  iterations : int;
+  function_evals : int;
+  gradient_evals : int;
+  flops_per_function_eval : int;
+  flops_per_gradient_eval : int;
+  graph_ops_per_function_eval : int;
+      (** Vector-granularity graph nodes an interpreter executes per loss
+          evaluation. *)
+  graph_ops_per_gradient_eval : int;
+  model_params : int;
+  data_points : int;
+}
+
+type report = {
+  style : style;
+  train_ms : float;
+  memory_mb : float;  (** Peak training memory above the app baseline. *)
+  binary_mb : float;  (** Uncompressed runtime + model code footprint. *)
+}
+
+val simulate : style -> workload -> report
+
+(** [run_fine_tuning ?n_knots ?n_data ?noise ~user_shift rng] trains the
+    global spline, fine-tunes it on user-local data for real, and returns
+    the measured workload plus the personalized spline and optimizer stats. *)
+val run_fine_tuning :
+  ?n_knots:int ->
+  ?n_data:int ->
+  ?noise:float ->
+  user_shift:float ->
+  S4o_tensor.Prng.t ->
+  workload * S4o_spline.Spline.t * S4o_spline.Line_search.stats

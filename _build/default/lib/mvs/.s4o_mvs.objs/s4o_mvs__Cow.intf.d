@@ -1,0 +1,1 @@
+lib/mvs/cow.mli:

@@ -1,0 +1,1 @@
+lib/mvs/inout.ml: Array Dense S4o_tensor

@@ -1,0 +1,1 @@
+lib/mvs/subscript_ad.mli:

@@ -1,0 +1,52 @@
+type storage = { data : float array; mutable refs : int }
+
+type t = { mutable storage : storage }
+
+let copies = ref 0
+let copy_count () = !copies
+let reset_copy_count () = copies := 0
+
+let create n v = { storage = { data = Array.make n v; refs = 1 } }
+let of_array a = { storage = { data = Array.copy a; refs = 1 } }
+let length b = Array.length b.storage.data
+let get b i = b.storage.data.(i)
+
+let copy b =
+  b.storage.refs <- b.storage.refs + 1;
+  { storage = b.storage }
+
+let is_shared b = b.storage.refs > 1
+
+(* The uniqueness check ARC performs before every mutation: copy the physical
+   storage iff it is shared. *)
+let ensure_unique b =
+  if is_shared b then begin
+    b.storage.refs <- b.storage.refs - 1;
+    incr copies;
+    b.storage <- { data = Array.copy b.storage.data; refs = 1 }
+  end
+
+let set b i v =
+  ensure_unique b;
+  b.storage.data.(i) <- v
+
+let add_at b i v =
+  ensure_unique b;
+  b.storage.data.(i) <- b.storage.data.(i) +. v
+
+let map_inplace f b =
+  ensure_unique b;
+  let d = b.storage.data in
+  for i = 0 to Array.length d - 1 do
+    d.(i) <- f d.(i)
+  done
+
+let blend ~alpha dst src =
+  if length dst <> length src then invalid_arg "Cow.blend: length mismatch";
+  ensure_unique dst;
+  let d = dst.storage.data and s = src.storage.data in
+  for i = 0 to Array.length d - 1 do
+    d.(i) <- d.(i) +. (alpha *. s.(i))
+  done
+
+let to_array b = Array.copy b.storage.data

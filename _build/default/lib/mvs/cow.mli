@@ -1,0 +1,49 @@
+(** A copy-on-write float buffer with mutable value semantics (§4).
+
+    Two values of type {!t} always observe logically disjoint data: mutation
+    through one is never visible through another (no "spooky action at a
+    distance"). Like Swift arrays, the representation shares storage between
+    copies and defers the physical copy until a mutation finds the storage
+    shared — so pass-by-value is cheap, and "large values are copied lazily,
+    upon mutation, and only when shared".
+
+    The implementation keeps an explicit reference count (standing in for
+    Swift's built-in ARC uniqueness check) and a global copy counter so tests
+    and benchmarks can observe exactly when physical copies happen. *)
+
+type t
+
+(** [create n v]: a buffer of [n] elements, all [v]. *)
+val create : int -> float -> t
+
+val of_array : float array -> t
+val length : t -> int
+val get : t -> int -> float
+
+(** Value-semantic copy: O(1), shares storage, bumps the reference count. *)
+val copy : t -> t
+
+(** [set b i v] mutates in place — after copying the storage first if it is
+    shared (the "unique borrow" check). *)
+val set : t -> int -> float -> unit
+
+(** [add_at b i v]: [b.(i) <- b.(i) + v], same CoW discipline. The O(1)
+    inout-pullback primitive of Appendix B. *)
+val add_at : t -> int -> float -> unit
+
+(** [map_inplace f b]. *)
+val map_inplace : (float -> float) -> t -> unit
+
+(** [blend ~alpha dst src]: [dst <- dst + alpha * src] in place. *)
+val blend : alpha:float -> t -> t -> unit
+
+val to_array : t -> float array
+
+(** Does this value currently share storage with another live value? *)
+val is_shared : t -> bool
+
+(** Physical copies performed process-wide since the last
+    {!reset_copy_count}. *)
+val copy_count : unit -> int
+
+val reset_copy_count : unit -> unit

@@ -1,0 +1,47 @@
+(** The [inout] story of §4.2 and Appendix A.
+
+    Appendix A (Figure 8) shows that a call taking [inout] parameters can be
+    rewritten as a pure call returning the updated values — [inout] is a
+    unique borrow, not a reference. Both forms are given here; the test suite
+    checks they agree, the OCaml analogue of the figure's "both programs
+    print 3 true".
+
+    §4.2's training-loop application: with a
+    [(Model, Minibatch) -> Model] update, two full copies of the parameters
+    are live at the peak; with [(inout Model, Minibatch) -> Void] only one.
+    {!functional_update} and {!inplace_update} implement the two shapes over
+    tensor parameter lists so the ablation benchmark can measure peak bytes
+    for each. *)
+
+open S4o_tensor
+
+(** Figure 8, left: the [inout] form ([x] is uniquely borrowed). *)
+let inc_inout (x : int ref) =
+  x := !x + 1;
+  !x < 10
+
+(** Figure 8, right: the equivalent pass-by-value form. *)
+let inc_value (x0 : int) =
+  let x = x0 + 1 in
+  (x, x < 10)
+
+(** {1 Model updates} *)
+
+type model = Dense.t array
+
+let bytes_of_model (m : model) =
+  Array.fold_left (fun acc t -> acc + (8 * Dense.numel t)) 0 m
+
+(** [(Model, grads) -> Model]: allocates a complete second model — both the
+    old and new parameters are live until the caller drops the old one. *)
+let functional_update (m : model) (grads : model) ~lr : model =
+  Array.mapi (fun i p -> Dense.sub p (Dense.scale lr grads.(i))) m
+
+(** [(inout Model, grads) -> Void]: updates the uniquely-borrowed parameters
+    in place; no second copy ever exists. *)
+let inplace_update (m : model) (grads : model) ~lr : unit =
+  Array.iteri (fun i p -> Dense.axpy_inplace ~alpha:(-.lr) p grads.(i)) m
+
+(** A synthetic large dense model for the §4.2 ablation. *)
+let synthetic_model rng ~layers ~width : model =
+  Array.init layers (fun _ -> Dense.rand_normal rng ~stddev:0.01 [| width; width |])

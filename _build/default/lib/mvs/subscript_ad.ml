@@ -1,0 +1,111 @@
+(* Transliterations of Figure 9. The functional pullbacks deliberately keep
+   the paper's allocation behaviour (a fresh zero array per subscript read, a
+   fresh array per sum) so the benchmark exposes the O(n) vs O(1) gap. *)
+
+let subscript_functional values index =
+  let size = Array.length values in
+  (* "Optimization: don't capture whole array, just size." *)
+  ( values.(index),
+    fun dx ->
+      let tmp = Array.make size 0.0 in
+      tmp.(index) <- dx;
+      tmp )
+
+let sum_arrays a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "sum_arrays: length mismatch";
+  Array.init (Array.length a) (fun i -> a.(i) +. b.(i))
+
+let my_op_functional values a b =
+  let a_val, a_pb = subscript_functional values a in
+  let b_val, b_pb = subscript_functional values b in
+  ( a_val +. b_val,
+    fun dx -> sum_arrays (a_pb dx) (b_pb dx) (* two O(n) allocations + O(n) sum *) )
+
+let gather_sum_functional values indices =
+  let pulls = Array.map (fun i -> subscript_functional values i) indices in
+  let value = Array.fold_left (fun acc (v, _) -> acc +. v) 0.0 pulls in
+  ( value,
+    fun dx ->
+      Array.fold_left
+        (fun acc (_, pb) -> sum_arrays acc (pb dx))
+        (Array.make (Array.length values) 0.0)
+        pulls )
+
+let subscript_inout values index =
+  (values.(index), fun dx d_values -> d_values.(index) <- d_values.(index) +. dx)
+
+let my_op_inout values a b =
+  let a_val, a_pb = subscript_inout values a in
+  let b_val, b_pb = subscript_inout values b in
+  ( a_val +. b_val,
+    fun dx d_values ->
+      a_pb dx d_values;
+      (* constant time *)
+      b_pb dx d_values )
+
+let gather_sum_inout values indices =
+  let pulls = Array.map (fun i -> subscript_inout values i) indices in
+  let value = Array.fold_left (fun acc (v, _) -> acc +. v) 0.0 pulls in
+  (value, fun dx d_values -> Array.iter (fun (_, pb) -> pb dx d_values) pulls)
+
+let grad_my_op_functional values a b =
+  let _, pb = my_op_functional values a b in
+  pb 1.0
+
+let grad_my_op_inout values a b =
+  let _, pb = my_op_inout values a b in
+  let g = Array.make (Array.length values) 0.0 in
+  pb 1.0 g;
+  g
+
+let grad_gather_functional values indices =
+  let _, pb = gather_sum_functional values indices in
+  pb 1.0
+
+let grad_gather_inout values indices =
+  let _, pb = gather_sum_inout values indices in
+  let g = Array.make (Array.length values) 0.0 in
+  pb 1.0 g;
+  g
+
+(* {1 Trees} *)
+
+type tree = Leaf | Node of { value : float; left : tree; right : tree }
+
+type gtree = GLeaf | GNode of { mutable g : float; left : gtree; right : gtree }
+
+let rec gtree_zero_like = function
+  | Leaf -> GLeaf
+  | Node { left; right; _ } ->
+      GNode { g = 0.0; left = gtree_zero_like left; right = gtree_zero_like right }
+
+let rec gtree_lookup g path =
+  match (g, path) with
+  | GNode { g; _ }, [] -> g
+  | GNode { left; _ }, true :: rest -> gtree_lookup left rest
+  | GNode { right; _ }, false :: rest -> gtree_lookup right rest
+  | GLeaf, _ -> invalid_arg "gtree_lookup: path leaves the tree"
+
+let tree_read t path =
+  let rec value t path =
+    match (t, path) with
+    | Node { value; _ }, [] -> value
+    | Node { left; _ }, true :: rest -> value left rest
+    | Node { right; _ }, false :: rest -> value right rest
+    | Leaf, _ -> invalid_arg "tree_read: path leaves the tree"
+  in
+  let v = value t path in
+  let pullback dx g =
+    (* Walk the same path in the gradient tree: O(path) — the "partial
+       derivative with respect to a field within an aggregate" of §4.3. *)
+    let rec go g path =
+      match (g, path) with
+      | GNode n, [] -> n.g <- n.g +. dx
+      | GNode { left; _ }, true :: rest -> go left rest
+      | GNode { right; _ }, false :: rest -> go right rest
+      | GLeaf, _ -> invalid_arg "tree pullback: path leaves the tree"
+    in
+    go g path
+  in
+  (v, pullback)

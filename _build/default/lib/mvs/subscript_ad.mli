@@ -1,0 +1,66 @@
+(** The array-subscript differentiation case study of §4.3 and Appendix B
+    (Figure 9), transliterated from the paper's Swift.
+
+    Reading one element of an array is O(1), but the {e functional} pullback
+    formulation must materialize a whole gradient array of zeros per read —
+    O(n) time and memory — violating the efficient-gradient goal. The
+    {e mutable-value-semantics} formulation types the pullback as
+    [(dOut, inout dValues) -> unit] and accumulates into the existing
+    gradient buffer in O(1).
+
+    Both formulations are provided, plus [myOp] (the paper's two-subscript
+    example) and a generalized k-subscript gather, so the benchmark can sweep
+    the asymptotic gap. *)
+
+(** {1 Functional formulation (Figure 9, top)} *)
+
+(** [(value, pullback)] where the pullback allocates an O(n) one-hot array. *)
+val subscript_functional :
+  float array -> int -> float * (float -> float array)
+
+(** The paper's [myOp values a b = values.(a) + values.(b)] with a functional
+    pullback: O(n) time and two O(n) allocations per call. *)
+val my_op_functional :
+  float array -> int -> int -> float * (float -> float array)
+
+(** Sum of [k] subscript reads, functional pullback: O(k·n). *)
+val gather_sum_functional :
+  float array -> int array -> float * (float -> float array)
+
+(** {1 Mutable-value-semantics formulation (Figure 9, bottom)} *)
+
+(** Pullback accumulates into the caller's gradient buffer in O(1). *)
+val subscript_inout :
+  float array -> int -> float * (float -> float array -> unit)
+
+val my_op_inout : float array -> int -> int -> float * (float -> float array -> unit)
+
+(** Sum of [k] subscript reads, inout pullback: O(k) — independent of n. *)
+val gather_sum_inout :
+  float array -> int array -> float * (float -> float array -> unit)
+
+(** {1 Full gradients (for equivalence tests)} *)
+
+val grad_my_op_functional : float array -> int -> int -> float array
+val grad_my_op_inout : float array -> int -> int -> float array
+val grad_gather_functional : float array -> int array -> float array
+val grad_gather_inout : float array -> int array -> float array
+
+(** {1 Big-to-small derivatives beyond arrays (§4.3 closing claim)}
+
+    The same inout technique applied to a binary tree: differentiate a
+    function of one vertex's payload with respect to the whole tree, in time
+    proportional to the path, not the tree size. *)
+
+type tree = Leaf | Node of { value : float; left : tree; right : tree }
+
+(** A mutable gradient tree mirroring a {!tree}'s structure. *)
+type gtree
+
+val gtree_zero_like : tree -> gtree
+val gtree_lookup : gtree -> bool list -> float
+
+(** [tree_read t path]: value at the vertex reached by the left(/right=false)
+    [path]. Returns the value and an inout pullback that accumulates into a
+    mutable gradient tree in O(path), not O(tree). *)
+val tree_read : tree -> bool list -> float * (float -> gtree -> unit)

@@ -1,0 +1,1 @@
+lib/nn/attention.ml: Array Backend_intf Dense Float Format Layer List S4o_tensor Shape

@@ -1,0 +1,1 @@
+lib/nn/checkpoint.ml: Array Backend_intf Dense Format Fun Layer List Printf S4o_tensor Shape String

@@ -1,0 +1,1 @@
+lib/nn/data_parallel.ml: Array Backend_intf Dense Layer List Printf S4o_tensor

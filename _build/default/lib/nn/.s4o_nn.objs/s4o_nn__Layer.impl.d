@@ -1,0 +1,1 @@
+lib/nn/layer.ml: Array Backend_intf Convolution Dense Float Format Fun List Option Prng S4o_diff_tensor S4o_tensor Shape

@@ -1,0 +1,1 @@
+lib/nn/models.ml: Array Backend_intf Convolution Format Layer List S4o_tensor String

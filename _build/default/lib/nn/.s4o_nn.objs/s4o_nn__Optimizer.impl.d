@@ -1,0 +1,1 @@
+lib/nn/optimizer.ml: Array Backend_intf Format Fun Layer List S4o_tensor

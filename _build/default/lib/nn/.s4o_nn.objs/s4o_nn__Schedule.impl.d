@@ -1,0 +1,1 @@
+lib/nn/schedule.ml: Array Backend_intf Dense Float Fun Layer List Optimizer S4o_tensor

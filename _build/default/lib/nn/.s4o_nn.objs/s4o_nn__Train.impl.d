@@ -1,0 +1,1 @@
+lib/nn/train.ml: Array Backend_intf Dense Float Layer List Optimizer S4o_tensor

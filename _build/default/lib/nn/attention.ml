@@ -1,0 +1,170 @@
+(** Self-attention and transformer blocks.
+
+    §4.2 motivates the `inout` training story with "large transformer-based
+    natural language models"; this module makes the platform actually able to
+    build one. Everything is expressed through the differentiable op set —
+    batched matmuls for the attention scores, elementwise ops for the
+    softmax and layer norm — so the same code trains on any backend and, on
+    the lazy backend, traces into a single fused XLA program. *)
+
+open S4o_tensor
+
+module Make (Bk : Backend_intf.S) = struct
+  module L = Layer.Make (Bk)
+  module D = L.D
+
+  (* softmax over the last axis of a rank-3 tensor, built from
+     differentiable primitives (exp / sum / div with broadcasting) *)
+  let softmax_last x =
+    let e = D.exp x in
+    let z = D.sum_axes ~keep_dims:true e [ Shape.rank (D.shape x) - 1 ] in
+    D.div e z
+
+  (* position-wise affine map over [n; t; d_in] -> [n; t; d_out] *)
+  let positionwise ctx w b x =
+    let s = D.shape x in
+    let n = s.(0) and t = s.(1) and d_in = s.(2) in
+    let d_out = (Bk.shape (L.Slot.data w)).(1) in
+    let flat = D.reshape x [| n * t; d_in |] in
+    let y = D.add (D.matmul flat (L.Slot.track ctx w)) (L.Slot.track ctx b) in
+    D.reshape y [| n; t; d_out |]
+
+  (** Layer normalization over the last (feature) axis, with learnable gain
+      and shift. *)
+  let layer_norm ~features ?(epsilon = 1e-5) () =
+    let gamma = L.Slot.create "ln_gamma" (Bk.of_dense (Dense.ones [| features |])) in
+    let beta = L.Slot.create "ln_beta" (Bk.of_dense (Dense.zeros [| features |])) in
+    {
+      L.name = Format.sprintf "layer_norm(%d)" features;
+      slots = [ gamma; beta ];
+      apply =
+        (fun ctx x ->
+          let s = D.shape x in
+          let last = Shape.rank s - 1 in
+          let d = float_of_int s.(last) in
+          let mean = D.scale (1.0 /. d) (D.sum_axes ~keep_dims:true x [ last ]) in
+          let centered = D.sub x mean in
+          let var =
+            D.scale (1.0 /. d)
+              (D.sum_axes ~keep_dims:true (D.mul centered centered) [ last ])
+          in
+          let normalized = D.div centered (D.sqrt (D.add_scalar epsilon var)) in
+          D.add (D.mul normalized (L.Slot.track ctx gamma)) (L.Slot.track ctx beta));
+    }
+
+  (** Single-head scaled dot-product self-attention over [n; t; d]. *)
+  let self_attention rng ~d_model ?(d_k = 0) () =
+    let d_k = if d_k = 0 then d_model else d_k in
+    let proj label d_out =
+      ( L.Slot.create (label ^ "_w")
+          (L.glorot_uniform rng ~fan_in:d_model ~fan_out:d_out [| d_model; d_out |]),
+        L.Slot.create (label ^ "_b") (Bk.of_dense (Dense.zeros [| d_out |])) )
+    in
+    let wq, bq = proj "q" d_k in
+    let wk, bk = proj "k" d_k in
+    let wv, bv = proj "v" d_k in
+    let wo, bo =
+      ( L.Slot.create "o_w"
+          (L.glorot_uniform rng ~fan_in:d_k ~fan_out:d_model [| d_k; d_model |]),
+        L.Slot.create "o_b" (Bk.of_dense (Dense.zeros [| d_model |])) )
+    in
+    {
+      L.name = Format.sprintf "self_attention(d=%d)" d_model;
+      slots = [ wq; bq; wk; bk; wv; bv; wo; bo ];
+      apply =
+        (fun ctx x ->
+          let q = positionwise ctx wq bq x in
+          let k = positionwise ctx wk bk x in
+          let v = positionwise ctx wv bv x in
+          let scores =
+            D.scale
+              (1.0 /. Float.sqrt (float_of_int d_k))
+              (D.batch_matmul q (D.batch_transpose k))
+          in
+          let attn = softmax_last scores in
+          let mixed = D.batch_matmul attn v in
+          positionwise ctx wo bo mixed);
+    }
+
+  (** Pre-norm transformer block: [x + attn(ln x)], then [y + mlp(ln y)]. *)
+  let transformer_block rng ~d_model ~d_ff () =
+    let attn = self_attention rng ~d_model () in
+    let ln1 = layer_norm ~features:d_model () in
+    let ln2 = layer_norm ~features:d_model () in
+    let w1 =
+      L.Slot.create "ff_w1"
+        (L.glorot_uniform rng ~fan_in:d_model ~fan_out:d_ff [| d_model; d_ff |])
+    in
+    let b1 = L.Slot.create "ff_b1" (Bk.of_dense (Dense.zeros [| d_ff |])) in
+    let w2 =
+      L.Slot.create "ff_w2"
+        (L.glorot_uniform rng ~fan_in:d_ff ~fan_out:d_model [| d_ff; d_model |])
+    in
+    let b2 = L.Slot.create "ff_b2" (Bk.of_dense (Dense.zeros [| d_model |])) in
+    {
+      L.name = Format.sprintf "transformer_block(d=%d, ff=%d)" d_model d_ff;
+      slots = attn.L.slots @ ln1.L.slots @ ln2.L.slots @ [ w1; b1; w2; b2 ];
+      apply =
+        (fun ctx x ->
+          let y = D.add x (attn.L.apply ctx (ln1.L.apply ctx x)) in
+          let ff =
+            positionwise ctx w2 b2 (D.relu (positionwise ctx w1 b1 (ln2.L.apply ctx y)))
+          in
+          D.add y ff);
+    }
+
+  (** A small sequence classifier: [\[n; t; 1; d\]] inputs (the dataset
+      layout), transformer blocks, mean-pool over time, linear head. *)
+  let tiny_transformer rng ~seq_len ~d_model ~d_ff ~blocks ~classes =
+    let body = List.init blocks (fun _ -> transformer_block rng ~d_model ~d_ff ()) in
+    let head = L.dense rng ~inputs:d_model ~outputs:classes () in
+    let unpack =
+      {
+        L.name = "unpack_sequence";
+        slots = [];
+        apply =
+          (fun _ x ->
+            let s = D.shape x in
+            D.reshape x [| s.(0); seq_len; d_model |]);
+      }
+    in
+    let pool =
+      {
+        L.name = "mean_over_time";
+        slots = [];
+        apply =
+          (fun _ x ->
+            let s = D.shape x in
+            D.scale (1.0 /. float_of_int s.(1)) (D.sum_axes x [ 1 ]));
+      }
+    in
+    L.sequential
+      ~name:(Format.sprintf "TinyTransformer(%d blocks, d=%d)" blocks d_model)
+      ([ unpack ] @ body @ [ pool; head ])
+
+  (** Multi-head attention: [heads] independent scaled-dot-product heads of
+      width [d_model / heads], each with its own output projection back to
+      [d_model]; head outputs are summed — algebraically equivalent to the
+      usual concat-then-project formulation (the block-structured projection
+      is just split per head). *)
+  let multi_head_attention rng ~d_model ~heads () =
+    if heads < 1 || d_model mod heads <> 0 then
+      invalid_arg "multi_head_attention: heads must divide d_model";
+    let d_k = d_model / heads in
+    let head_layers =
+      List.init heads (fun _ -> self_attention rng ~d_model ~d_k ())
+    in
+    {
+      L.name = Format.sprintf "multi_head_attention(%d heads, d=%d)" heads d_model;
+      slots = List.concat_map (fun h -> h.L.slots) head_layers;
+      apply =
+        (fun ctx x ->
+          match head_layers with
+          | [] -> assert false
+          | first :: rest ->
+              List.fold_left
+                (fun acc h -> D.add acc (h.L.apply ctx x))
+                (first.L.apply ctx x) rest);
+    }
+end
+

@@ -1,0 +1,104 @@
+(** Model checkpointing: save a layer's parameters to a portable text file
+    and restore them into a structurally identical model.
+
+    §5.1.3 relies on exactly this flow — "a global spline model was trained
+    on anonymized, aggregated data, and fine-tuned on a Google Pixel 3 phone"
+    — i.e. parameters trained in one process are shipped to and refined in
+    another. The format is deliberately simple and self-describing: a header,
+    then one [slot <label> <shape>] line plus one whitespace-separated data
+    line per parameter slot, in layer order. Loading checks both the slot
+    count and every shape, so restoring into a mismatched architecture fails
+    loudly rather than silently. *)
+
+open S4o_tensor
+
+exception Format_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Format_error s)) fmt
+
+let magic = "s4o-checkpoint v1"
+
+module Make (Bk : Backend_intf.S) = struct
+  module L = Layer.Make (Bk)
+
+  let save_channel oc layer =
+    output_string oc (magic ^ "\n");
+    Printf.fprintf oc "slots %d\n" (List.length (L.slots layer));
+    List.iter
+      (fun slot ->
+        let data = Bk.to_dense (L.Slot.data slot) in
+        let shape = Dense.shape data in
+        Printf.fprintf oc "slot %s %s\n" (L.Slot.label slot) (Shape.to_string shape);
+        let values = Dense.to_array data in
+        Array.iteri
+          (fun i v ->
+            if i > 0 then output_char oc ' ';
+            (* %h is exact: round-trips every float bit pattern *)
+            Printf.fprintf oc "%h" v)
+          values;
+        output_char oc '\n')
+      (L.slots layer)
+
+  let save path layer =
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> save_channel oc layer)
+
+  let parse_shape s =
+    (* "[2x3x4]" or "[]" *)
+    let n = String.length s in
+    if n < 2 || s.[0] <> '[' || s.[n - 1] <> ']' then fail "bad shape %S" s;
+    let inner = String.sub s 1 (n - 2) in
+    if inner = "" then [||]
+    else
+      String.split_on_char 'x' inner
+      |> List.map (fun d ->
+             match int_of_string_opt d with
+             | Some v -> v
+             | None -> fail "bad dimension %S in %S" d s)
+      |> Array.of_list
+
+  let load_channel ic layer =
+    let line () = try input_line ic with End_of_file -> fail "truncated checkpoint" in
+    if line () <> magic then fail "not a checkpoint (bad magic)";
+    let declared =
+      match String.split_on_char ' ' (line ()) with
+      | [ "slots"; n ] -> (
+          match int_of_string_opt n with
+          | Some n -> n
+          | None -> fail "bad slot count")
+      | _ -> fail "missing slot count"
+    in
+    let slots = L.slots layer in
+    if declared <> List.length slots then
+      fail "checkpoint has %d slots, model has %d" declared (List.length slots);
+    List.iter
+      (fun slot ->
+        let header = line () in
+        let shape =
+          match String.split_on_char ' ' header with
+          | [ "slot"; _label; shape ] -> parse_shape shape
+          | _ -> fail "bad slot header %S" header
+        in
+        let expected = Dense.shape (Bk.to_dense (L.Slot.data slot)) in
+        if not (Shape.equal shape expected) then
+          fail "slot %s: checkpoint shape %s, model expects %s"
+            (L.Slot.label slot) (Shape.to_string shape) (Shape.to_string expected);
+        let values =
+          line () |> String.split_on_char ' '
+          |> List.filter (fun s -> s <> "")
+          |> List.map (fun s ->
+                 match float_of_string_opt s with
+                 | Some v -> v
+                 | None -> fail "bad float %S" s)
+          |> Array.of_list
+        in
+        if Array.length values <> Shape.numel shape then
+          fail "slot %s: %d values for shape %s" (L.Slot.label slot)
+            (Array.length values) (Shape.to_string shape);
+        L.Slot.set_data slot (Bk.of_dense (Dense.of_array shape values)))
+      slots
+
+  let load path layer =
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> load_channel ic layer)
+end

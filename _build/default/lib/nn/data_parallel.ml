@@ -1,0 +1,124 @@
+(** Synchronous data-parallel training — the execution semantics behind
+    Table 1, implemented for real (its simulated {e cost} on a pod is what
+    {!S4o_device.Cluster} models).
+
+    Each of [replicas] logical accelerators holds an identical copy of the
+    model, computes gradients on its own shard of the global batch, and the
+    per-shard gradients are {e all-reduced} (averaged) before one shared
+    update is applied everywhere. The invariant that makes this correct —
+    asserted by the test suite — is equivalence with single-device training
+    on the whole global batch: the loss is a mean over examples, so the mean
+    of equal-sized-shard gradients equals the global-batch gradient, and
+    replicas never diverge. *)
+
+open S4o_tensor
+
+module Make (Bk : Backend_intf.S) = struct
+  module L = Layer.Make (Bk)
+
+  type t = { replicas : L.t array }
+
+  (** [create ~replicas build]: [build] is called once per replica (so each
+      gets its own slots), then replica 0's parameters are broadcast so all
+      replicas start identical — the "initial weight broadcast" of real
+      synchronous training. *)
+  let create ~replicas build =
+    if replicas < 1 then invalid_arg "Data_parallel.create: need >= 1 replica";
+    let models = Array.init replicas (fun _ -> build ()) in
+    let chief_slots = L.slots models.(0) in
+    Array.iteri
+      (fun i m ->
+        if i > 0 then begin
+          let slots = L.slots m in
+          if List.length slots <> List.length chief_slots then
+            invalid_arg "Data_parallel.create: replicas differ in structure";
+          List.iter2
+            (fun dst src -> L.Slot.set_data dst (L.Slot.data src))
+            slots chief_slots
+        end)
+      models;
+    { replicas = models }
+
+  let chief t = t.replicas.(0)
+  let replica_count t = Array.length t.replicas
+
+  (** Mean of the replicas' tensors — the all-reduce. *)
+  let all_reduce_mean = function
+    | [] -> invalid_arg "all_reduce_mean: empty"
+    | first :: rest ->
+        let sum = List.fold_left Bk.add first rest in
+        Bk.scale (1.0 /. float_of_int (List.length rest + 1)) sum
+
+  (** Are all replicas' trainable parameters bitwise identical? (Running
+      statistics are replica-local and excluded.) *)
+  let replicas_in_sync t =
+    let trainable m = List.filter L.Slot.trainable (L.slots m) in
+    let chief_slots = trainable (chief t) in
+    Array.for_all
+      (fun m ->
+        List.for_all2
+          (fun a b ->
+            Dense.equal (Bk.to_dense (L.Slot.data a)) (Bk.to_dense (L.Slot.data b)))
+          (trainable m) chief_slots)
+      t.replicas
+
+  (** A stateless SGD update rule for {!train_step}. *)
+  let sgd_update ~lr ~param ~grad = Bk.sub param (Bk.scale lr grad)
+
+  (** One synchronous step on a global batch: shard, compute per-replica
+      gradients, all-reduce, apply [update] everywhere. The global batch
+      size must be divisible by the replica count (fixed shapes per shard,
+      as §3.4's tracing prefers). Returns the global mean loss. *)
+  let train_step t ~update ~images ~labels =
+    let r = Array.length t.replicas in
+    let n = (Dense.shape images).(0) in
+    if n mod r <> 0 then
+      invalid_arg
+        (Printf.sprintf "Data_parallel.train_step: batch %d not divisible by %d replicas" n r);
+    let shard = n / r in
+    let slice t9 i = Dense.slice t9 ~axis:0 ~start:(i * shard) ~len:shard in
+    (* forward + backward on each replica's shard *)
+    let shard_results =
+      Array.mapi
+        (fun i model ->
+          let module D = L.D in
+          let ctx = D.new_ctx () in
+          let logits =
+            L.apply model ctx (D.const (Bk.of_dense (slice images i)))
+          in
+          let loss =
+            D.softmax_cross_entropy ~labels:(Bk.of_dense (slice labels i)) logits
+          in
+          D.backward ctx loss;
+          let grads =
+            List.filter_map
+              (fun slot ->
+                if not (L.Slot.trainable slot) then None
+                else
+                  match L.Slot.grad slot with
+                  | Some g -> Some g
+                  | None -> invalid_arg "Data_parallel: missing gradient")
+              (L.slots model)
+          in
+          (Dense.item (Bk.to_dense (D.value loss)), grads))
+        t.replicas
+    in
+    (* all-reduce gradients slot-wise (trainable slots only — running
+       statistics stay replica-local, as in standard synchronous training),
+       then apply the same update to every replica's copy of that slot *)
+    let trainable_of m = List.filter L.Slot.trainable (L.slots m) in
+    let n_slots = List.length (trainable_of (chief t)) in
+    for j = 0 to n_slots - 1 do
+      let grads_j =
+        Array.to_list (Array.map (fun (_, gs) -> List.nth gs j) shard_results)
+      in
+      let avg = all_reduce_mean grads_j in
+      let chief_slot = List.nth (trainable_of (chief t)) j in
+      let updated = update ~param:(L.Slot.data chief_slot) ~grad:avg in
+      Array.iter
+        (fun m -> L.Slot.set_data (List.nth (trainable_of m) j) updated)
+        t.replicas
+    done;
+    let total = Array.fold_left (fun acc (l, _) -> acc +. l) 0.0 shard_results in
+    total /. float_of_int r
+end

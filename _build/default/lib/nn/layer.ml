@@ -1,0 +1,267 @@
+(** Layers (§4.1): the [Layer] protocol of Figure 6, over any Tensor backend.
+
+    A layer owns {e parameter slots} (the stored properties of the Swift
+    struct) and an apply function (the [@differentiable callAsFunction]).
+    Parameters live as plain backend tensors between steps; at each training
+    step they are {e tracked} onto the step's tape, which is how gradients —
+    the model's [TangentVector] — come back as first-class values.
+
+    Layers compose with {!sequential}, mirroring [input.sequenced(through:)]
+    in the paper's LeNet definition. *)
+
+open S4o_tensor
+
+module Make (Bk : Backend_intf.S) = struct
+  module D = S4o_diff_tensor.Diff_tensor.Make (Bk)
+
+  (** Global layer mode: stochastic layers (dropout) and batch-statistics
+      layers (batch norm) behave differently in training and inference —
+      training normalizes with batch statistics and updates the running
+      estimates; inference uses the frozen running estimates and applies no
+      dropout. *)
+  type mode = Train | Eval
+
+  let mode = ref Train
+  let set_mode m = mode := m
+
+  let with_mode m f =
+    let prev = !mode in
+    mode := m;
+    Fun.protect ~finally:(fun () -> mode := prev) f
+
+  (** A trainable parameter: backend data plus the tape variable of the
+      current step. *)
+  module Slot = struct
+    type t = {
+      label : string;
+      trainable : bool;
+          (** Non-trainable slots (batch-norm running statistics) carry
+              state the optimizer must not touch, but that must still ride
+              the step barrier on the lazy backend. *)
+      mutable data : Bk.t;
+      mutable var : D.t option;
+      mutable ctx : D.ctx option;  (** tape the variable belongs to *)
+    }
+
+    let create ?(trainable = true) label data =
+      { label; trainable; data; var = None; ctx = None }
+
+    let data s = s.data
+    let label s = s.label
+    let trainable s = s.trainable
+    let set_data s v = s.data <- v
+
+    (** Track on [ctx] (idempotent per tape). *)
+    let track ctx s =
+      match (s.var, s.ctx) with
+      | Some v, Some c when c == ctx -> v
+      | _, _ ->
+          let v = D.param ctx s.data in
+          s.var <- Some v;
+          s.ctx <- Some ctx;
+          v
+
+    (** Gradient from the most recent backward pass. *)
+    let grad s = Option.bind s.var D.adjoint
+
+    (** Overwrite the pending gradient (e.g. after clipping). No-op if the
+        slot was not tracked this step. *)
+    let set_grad s g =
+      match s.var with None -> () | Some v -> D.set_adjoint v g
+
+    let numel s = Shape.numel (Bk.shape s.data)
+  end
+
+  type t = {
+    name : string;
+    slots : Slot.t list;
+    apply : D.ctx -> D.t -> D.t;
+  }
+
+  let apply layer ctx x = layer.apply ctx x
+  let slots layer = layer.slots
+
+  (** Trainable parameters only (running statistics excluded). *)
+  let param_count layer =
+    List.fold_left
+      (fun acc s -> if Slot.trainable s then acc + Slot.numel s else acc)
+      0 layer.slots
+
+  (** {1 Initializers} *)
+
+  let glorot_uniform rng ~fan_in ~fan_out shape =
+    let limit = Float.sqrt (6.0 /. float_of_int (fan_in + fan_out)) in
+    Bk.of_dense (Dense.rand_uniform rng ~lo:(-.limit) ~hi:limit shape)
+
+  let he_normal rng ~fan_in shape =
+    let stddev = Float.sqrt (2.0 /. float_of_int fan_in) in
+    Bk.of_dense (Dense.rand_normal rng ~stddev shape)
+
+  (** {1 Parameterless layers} *)
+
+  let activation name f = { name; slots = []; apply = (fun _ x -> f x) }
+  let relu = activation "relu" D.relu
+  let sigmoid = activation "sigmoid" D.sigmoid
+  let tanh = activation "tanh" D.tanh
+
+  (** Collapses [\[n; ...\]] to [\[n; rest\]]. *)
+  let flatten =
+    {
+      name = "flatten";
+      slots = [];
+      apply =
+        (fun _ x ->
+          let s = D.shape x in
+          D.reshape x [| s.(0); Shape.numel s / s.(0) |]);
+    }
+
+  let avg_pool2d ~size ~stride =
+    {
+      name = "avg_pool2d";
+      slots = [];
+      apply = (fun _ x -> D.avg_pool2d ~size ~stride x);
+    }
+
+  let max_pool2d ~size ~stride =
+    {
+      name = "max_pool2d";
+      slots = [];
+      apply = (fun _ x -> D.max_pool2d ~size ~stride x);
+    }
+
+  (** {1 Dense} *)
+
+  let dense rng ~inputs ~outputs ?(activation = Fun.id) () =
+    let w =
+      Slot.create "w" (glorot_uniform rng ~fan_in:inputs ~fan_out:outputs [| inputs; outputs |])
+    in
+    let b = Slot.create "b" (Bk.of_dense (Dense.zeros [| outputs |])) in
+    {
+      name = Format.sprintf "dense(%d->%d)" inputs outputs;
+      slots = [ w; b ];
+      apply =
+        (fun ctx x ->
+          let wv = Slot.track ctx w and bv = Slot.track ctx b in
+          activation (D.add (D.matmul x wv) bv));
+    }
+
+  (** {1 Conv2D (NHWC, filter KKIO)} *)
+
+  let conv2d rng ~filter:(kh, kw, cin, cout) ?(stride = (1, 1))
+      ?(padding = Convolution.Same) ?(use_bias = true) ?(activation = Fun.id) () =
+    let fan_in = kh * kw * cin in
+    let f = Slot.create "filter" (he_normal rng ~fan_in [| kh; kw; cin; cout |]) in
+    let b = Slot.create "bias" (Bk.of_dense (Dense.zeros [| cout |])) in
+    let slots = if use_bias then [ f; b ] else [ f ] in
+    {
+      name = Format.sprintf "conv2d(%dx%dx%d->%d)" kh kw cin cout;
+      slots;
+      apply =
+        (fun ctx x ->
+          let fv = Slot.track ctx f in
+          let y = D.conv2d ~stride ~padding x fv in
+          let y = if use_bias then D.add y (Slot.track ctx b) else y in
+          activation y);
+    }
+
+  (** {1 Batch normalization}
+
+      In [Train] mode: normalize with per-channel batch statistics over the
+      leading axes, then scale and shift, while maintaining exponential
+      moving averages of the statistics. In [Eval] mode: normalize with the
+      frozen running averages (no batch dependence). *)
+
+  let batch_norm ~features ?(epsilon = 1e-5) ?(momentum = 0.9) () =
+    let gamma = Slot.create "gamma" (Bk.of_dense (Dense.ones [| features |])) in
+    let beta = Slot.create "beta" (Bk.of_dense (Dense.zeros [| features |])) in
+    (* Running statistics are non-trainable slots updated with backend ops —
+       never observed host-side, so on the lazy backend the update is just
+       more trace (§3.3's "do not observe a Tensor's contents"), and the
+       training loop's barrier materializes them like optimizer state. *)
+    let running_mean =
+      Slot.create ~trainable:false "running_mean"
+        (Bk.of_dense (Dense.zeros [| features |]))
+    in
+    let running_var =
+      Slot.create ~trainable:false "running_var"
+        (Bk.of_dense (Dense.ones [| features |]))
+    in
+    {
+      name = Format.sprintf "batch_norm(%d)" features;
+      slots = [ gamma; beta; running_mean; running_var ];
+      apply =
+        (fun ctx x ->
+          let g = Slot.track ctx gamma and b = Slot.track ctx beta in
+          match !mode with
+          | Train ->
+              let s = D.shape x in
+              let reduce_axes = List.init (Shape.rank s - 1) Fun.id in
+              let n = float_of_int (Shape.numel s / features) in
+              let mean = D.scale (1.0 /. n) (D.sum_axes x reduce_axes) in
+              let centered = D.sub x mean in
+              let var =
+                D.scale (1.0 /. n) (D.sum_axes (D.mul centered centered) reduce_axes)
+              in
+              let blend prev batch =
+                Bk.add (Bk.scale momentum prev) (Bk.scale (1.0 -. momentum) batch)
+              in
+              Slot.set_data running_mean
+                (blend (Slot.data running_mean) (D.value mean));
+              Slot.set_data running_var
+                (blend (Slot.data running_var) (D.value var));
+              let inv_std = D.sqrt (D.add_scalar epsilon var) in
+              D.add (D.mul (D.div centered inv_std) g) b
+          | Eval ->
+              let mean = D.const (Slot.data running_mean) in
+              let inv_std =
+                D.const
+                  (Bk.sqrt (Bk.add_scalar epsilon (Slot.data running_var)))
+              in
+              D.add (D.mul (D.div (D.sub x mean) inv_std) g) b);
+    }
+
+  (** {1 Dropout}
+
+      A fresh host-generated mask per application; scaling preserves the
+      activation expectation. *)
+
+  let dropout rng ~rate =
+    if rate < 0.0 || rate >= 1.0 then invalid_arg "dropout: rate in [0, 1)";
+    {
+      name = Format.sprintf "dropout(%g)" rate;
+      slots = [];
+      apply =
+        (fun _ x ->
+          match !mode with
+          | Eval -> x (* inference: identity, expectation already correct *)
+          | Train ->
+              let s = D.shape x in
+              let keep = 1.0 -. rate in
+              let mask =
+                Dense.init_flat s (fun _ ->
+                    if Prng.float rng < rate then 0.0 else 1.0 /. keep)
+              in
+              D.mul x (D.const (Bk.of_dense mask)));
+    }
+
+  (** {1 Composition} *)
+
+  let sequential ?(name = "sequential") layers =
+    {
+      name;
+      slots = List.concat_map (fun l -> l.slots) layers;
+      apply =
+        (fun ctx x -> List.fold_left (fun acc l -> l.apply ctx acc) x layers);
+    }
+
+  (** Residual connection: [f(x) + shortcut(x)] — the ResNet building
+      block's skeleton. *)
+  let residual ?(name = "residual") ~body ~shortcut () =
+    {
+      name;
+      slots = body.slots @ shortcut.slots;
+      apply = (fun ctx x -> D.add (body.apply ctx x) (shortcut.apply ctx x));
+    }
+
+  let identity = { name = "identity"; slots = []; apply = (fun _ x -> x) }
+end

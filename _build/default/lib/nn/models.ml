@@ -1,0 +1,210 @@
+(** Model zoo: the LeNet-5 variant of Figure 6, and a configurable ResNet
+    family covering the paper's two evaluation networks — ResNet-56 on
+    CIFAR-10 (Table 3) and ResNet-50 on ImageNet (Tables 1–2). §3.5's point
+    that "one may implement a complete ResNet family of models by assembling
+    key building blocks in a configuration determined by a dynamic model
+    variant" is taken literally: both networks come out of one builder,
+    configured at runtime. *)
+
+open S4o_tensor
+
+module Make (Bk : Backend_intf.S) = struct
+  module L = Layer.Make (Bk)
+
+  (** The exact LeNet-5 variant of Figure 6: conv(5x5,1->6,same,relu) →
+      avgpool(2,2) → conv(5x5,6->16,valid,relu) → avgpool(2,2) → flatten →
+      dense(400->120,relu) → dense(120->84,relu) → dense(84->10). *)
+  let lenet rng =
+    L.sequential ~name:"LeNet-5"
+      [
+        L.conv2d rng ~filter:(5, 5, 1, 6) ~padding:Convolution.Same
+          ~activation:L.D.relu ();
+        L.avg_pool2d ~size:(2, 2) ~stride:(2, 2);
+        L.conv2d rng ~filter:(5, 5, 6, 16) ~padding:Convolution.Valid
+          ~activation:L.D.relu ();
+        L.avg_pool2d ~size:(2, 2) ~stride:(2, 2);
+        L.flatten;
+        L.dense rng ~inputs:400 ~outputs:120 ~activation:L.D.relu ();
+        L.dense rng ~inputs:120 ~outputs:84 ~activation:L.D.relu ();
+        L.dense rng ~inputs:84 ~outputs:10 ();
+      ]
+
+  (** A small multi-layer perceptron, for quick tests and the quickstart. *)
+  let mlp rng ~inputs ~hidden ~outputs =
+    L.sequential ~name:"mlp"
+      [
+        L.flatten;
+        L.dense rng ~inputs ~outputs:hidden ~activation:L.D.relu ();
+        L.dense rng ~inputs:hidden ~outputs ();
+      ]
+
+  (** {1 ResNet family} *)
+
+  (** A basic 3x3+3x3 residual block (used by CIFAR ResNets such as
+      ResNet-56). *)
+  let basic_block rng ~in_channels ~out_channels ~stride =
+    let body =
+      L.sequential
+        [
+          L.conv2d rng ~filter:(3, 3, in_channels, out_channels)
+            ~stride:(stride, stride) ~padding:Convolution.Same ~use_bias:false ();
+          L.batch_norm ~features:out_channels ();
+          L.relu;
+          L.conv2d rng ~filter:(3, 3, out_channels, out_channels)
+            ~padding:Convolution.Same ~use_bias:false ();
+          L.batch_norm ~features:out_channels ();
+        ]
+    in
+    let shortcut =
+      if stride = 1 && in_channels = out_channels then L.identity
+      else
+        L.sequential
+          [
+            L.conv2d rng ~filter:(1, 1, in_channels, out_channels)
+              ~stride:(stride, stride) ~padding:Convolution.Same ~use_bias:false ();
+            L.batch_norm ~features:out_channels ();
+          ]
+    in
+    L.sequential [ L.residual ~name:"basic_block" ~body ~shortcut (); L.relu ]
+
+  (** A 1x1 → 3x3 → 1x1 bottleneck block (used by ImageNet ResNets such as
+      ResNet-50); [out_channels] is the expanded width (4x the bottleneck). *)
+  let bottleneck_block rng ~in_channels ~out_channels ~stride =
+    let mid = out_channels / 4 in
+    let body =
+      L.sequential
+        [
+          L.conv2d rng ~filter:(1, 1, in_channels, mid) ~use_bias:false ();
+          L.batch_norm ~features:mid ();
+          L.relu;
+          L.conv2d rng ~filter:(3, 3, mid, mid) ~stride:(stride, stride)
+            ~padding:Convolution.Same ~use_bias:false ();
+          L.batch_norm ~features:mid ();
+          L.relu;
+          L.conv2d rng ~filter:(1, 1, mid, out_channels) ~use_bias:false ();
+          L.batch_norm ~features:out_channels ();
+        ]
+    in
+    let shortcut =
+      if stride = 1 && in_channels = out_channels then L.identity
+      else
+        L.sequential
+          [
+            L.conv2d rng ~filter:(1, 1, in_channels, out_channels)
+              ~stride:(stride, stride) ~use_bias:false ();
+            L.batch_norm ~features:out_channels ();
+          ]
+    in
+    L.sequential [ L.residual ~name:"bottleneck" ~body ~shortcut (); L.relu ]
+
+  type resnet_config = {
+    stem_channels : int;
+    stem_kernel : int;
+    stem_stride : int;
+    stem_pool : bool;
+    stage_blocks : int list;  (** blocks per stage *)
+    stage_channels : int list;  (** output width per stage *)
+    bottleneck : bool;
+    classes : int;
+  }
+
+  (** ResNet-56 for 32x32 CIFAR-10: 6n+2 layers with n = 9. *)
+  let resnet56_config =
+    {
+      stem_channels = 16;
+      stem_kernel = 3;
+      stem_stride = 1;
+      stem_pool = false;
+      stage_blocks = [ 9; 9; 9 ];
+      stage_channels = [ 16; 32; 64 ];
+      bottleneck = false;
+      classes = 10;
+    }
+
+  (** ResNet-50 for 224x224 ImageNet: bottleneck stages [3;4;6;3]. *)
+  let resnet50_config =
+    {
+      stem_channels = 64;
+      stem_kernel = 7;
+      stem_stride = 2;
+      stem_pool = true;
+      stage_blocks = [ 3; 4; 6; 3 ];
+      stage_channels = [ 256; 512; 1024; 2048 ];
+      bottleneck = true;
+      classes = 1000;
+    }
+
+  (** A tiny ResNet for fast functional tests. *)
+  let resnet_tiny_config ~classes =
+    {
+      stem_channels = 8;
+      stem_kernel = 3;
+      stem_stride = 1;
+      stem_pool = false;
+      stage_blocks = [ 1; 1 ];
+      stage_channels = [ 8; 16 ];
+      bottleneck = false;
+      classes;
+    }
+
+  (** Global average pool over the spatial axes of NHWC. *)
+  let global_avg_pool =
+    {
+      L.name = "global_avg_pool";
+      slots = [];
+      apply =
+        (fun _ x ->
+          let s = L.D.shape x in
+          let spatial = float_of_int (s.(1) * s.(2)) in
+          let pooled = L.D.sum_axes x [ 1; 2 ] in
+          L.D.scale (1.0 /. spatial) pooled);
+    }
+
+  let resnet rng ~in_channels (cfg : resnet_config) =
+    let block =
+      if cfg.bottleneck then bottleneck_block else basic_block
+    in
+    let stem =
+      L.sequential
+        ([
+           L.conv2d rng
+             ~filter:(cfg.stem_kernel, cfg.stem_kernel, in_channels, cfg.stem_channels)
+             ~stride:(cfg.stem_stride, cfg.stem_stride) ~padding:Convolution.Same
+             ~use_bias:false ();
+           L.batch_norm ~features:cfg.stem_channels ();
+           L.relu;
+         ]
+        @ if cfg.stem_pool then [ L.max_pool2d ~size:(2, 2) ~stride:(2, 2) ] else [])
+    in
+    let stages = List.combine cfg.stage_blocks cfg.stage_channels in
+    let _, stage_layers =
+      List.fold_left
+        (fun (in_ch, acc) (n_blocks, out_ch) ->
+          let first_stride = if in_ch = cfg.stem_channels && acc = [] then 1 else 2 in
+          let blocks =
+            List.init n_blocks (fun i ->
+                let stride = if i = 0 then first_stride else 1 in
+                let bin = if i = 0 then in_ch else out_ch in
+                block rng ~in_channels:bin ~out_channels:out_ch ~stride)
+          in
+          (out_ch, acc @ blocks))
+        (cfg.stem_channels, [])
+        stages
+    in
+    let final_channels = List.nth cfg.stage_channels (List.length cfg.stage_channels - 1) in
+    let head =
+      L.sequential
+        [
+          global_avg_pool;
+          L.dense rng ~inputs:final_channels ~outputs:cfg.classes ();
+        ]
+    in
+    L.sequential
+      ~name:
+        (Format.sprintf "ResNet(%s)"
+           (String.concat "-" (List.map string_of_int cfg.stage_blocks)))
+      ([ stem ] @ stage_layers @ [ head ])
+
+  let resnet56 rng = resnet rng ~in_channels:3 resnet56_config
+  let resnet50 rng = resnet rng ~in_channels:3 resnet50_config
+end

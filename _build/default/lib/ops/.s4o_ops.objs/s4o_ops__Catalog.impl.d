@@ -1,0 +1,1 @@
+lib/ops/catalog.ml: Array Convolution Dense Format List S4o_device S4o_tensor Shape String

@@ -1,0 +1,1 @@
+lib/sil/activity.ml: Array Fun Ir List

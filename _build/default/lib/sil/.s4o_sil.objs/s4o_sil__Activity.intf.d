@@ -1,0 +1,1 @@
+lib/sil/activity.mli: Ir

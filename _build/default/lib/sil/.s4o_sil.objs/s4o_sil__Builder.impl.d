@@ -1,0 +1,1 @@
+lib/sil/builder.ml: Array Ir List

@@ -1,0 +1,1 @@
+lib/sil/builder.mli: Ir

@@ -1,0 +1,1 @@
+lib/sil/codegen.ml: Array Builder Format Fun Hashtbl Interp Ir

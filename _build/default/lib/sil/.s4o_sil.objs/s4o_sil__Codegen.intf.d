@@ -1,0 +1,1 @@
+lib/sil/codegen.mli: Interp Ir

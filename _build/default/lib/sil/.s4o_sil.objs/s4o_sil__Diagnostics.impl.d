@@ -1,0 +1,1 @@
+lib/sil/diagnostics.ml: Activity Array Format Ir List

@@ -1,0 +1,1 @@
+lib/sil/diagnostics.mli: Format Ir

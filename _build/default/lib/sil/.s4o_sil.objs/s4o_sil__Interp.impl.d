@@ -1,0 +1,1 @@
+lib/sil/interp.ml: Array Float Format Hashtbl Ir

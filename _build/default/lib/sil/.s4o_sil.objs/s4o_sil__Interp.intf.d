@@ -1,0 +1,1 @@
+lib/sil/interp.mli: Ir

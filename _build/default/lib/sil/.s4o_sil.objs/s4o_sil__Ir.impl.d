@@ -1,0 +1,1 @@
+lib/sil/ir.ml: Array Format List String

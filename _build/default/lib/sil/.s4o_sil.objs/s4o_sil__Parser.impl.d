@@ -1,0 +1,1 @@
+lib/sil/parser.ml: Array Buffer Format Hashtbl Interp Ir List Scanf String

@@ -1,0 +1,1 @@
+lib/sil/parser.mli: Interp Ir

@@ -1,0 +1,1 @@
+lib/sil/passes.ml: Array Interp Ir List Option

@@ -1,0 +1,1 @@
+lib/sil/passes.mli: Ir

@@ -1,0 +1,1 @@
+lib/sil/transform.ml: Activity Array Diagnostics Float Format Hashtbl Interp Ir List

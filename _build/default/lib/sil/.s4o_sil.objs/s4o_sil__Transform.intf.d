@@ -1,0 +1,1 @@
+lib/sil/transform.mli: Diagnostics Interp

@@ -1,0 +1,77 @@
+type block_state = {
+  bparams : int;
+  mutable insts : Ir.inst list;  (* reversed *)
+  mutable n_insts : int;
+  mutable term : Ir.terminator option;
+}
+
+type t = {
+  name : string;
+  n_args : int;
+  mutable blocks : block_state list;  (* reversed *)
+  mutable n_blocks : int;
+  mutable cursor : block_state;
+}
+
+let create ~name ~n_args =
+  let entry = { bparams = n_args; insts = []; n_insts = 0; term = None } in
+  { name; n_args; blocks = [ entry ]; n_blocks = 1; cursor = entry }
+
+let nth_block b i = List.nth (List.rev b.blocks) i
+
+let new_block b ~params =
+  let blk = { bparams = params; insts = []; n_insts = 0; term = None } in
+  b.blocks <- blk :: b.blocks;
+  b.n_blocks <- b.n_blocks + 1;
+  b.n_blocks - 1
+
+let switch b i = b.cursor <- nth_block b i
+
+let param b i =
+  if i < 0 || i >= b.cursor.bparams then
+    Ir.fail "builder %s: param %d out of range" b.name i;
+  i
+
+let emit b inst =
+  let blk = b.cursor in
+  if blk.term <> None then Ir.fail "builder %s: emitting after terminator" b.name;
+  blk.insts <- inst :: blk.insts;
+  blk.n_insts <- blk.n_insts + 1;
+  blk.bparams + blk.n_insts - 1
+
+let const b c = emit b (Ir.Const c)
+let unary b op a = emit b (Ir.Unary (op, a))
+let binary b op x y = emit b (Ir.Binary (op, x, y))
+let cmp b op x y = emit b (Ir.Cmp (op, x, y))
+let select b ~cond ~if_true ~if_false = emit b (Ir.Select (cond, if_true, if_false))
+let call b name args = emit b (Ir.Call (name, args))
+
+let set_term b term =
+  if b.cursor.term <> None then
+    Ir.fail "builder %s: block already terminated" b.name;
+  b.cursor.term <- Some term
+
+let br b target args = set_term b (Ir.Br (target, args))
+
+let cond_br b ~cond ~if_true:(bt, at) ~if_false:(bf, af) =
+  set_term b (Ir.Cond_br (cond, bt, at, bf, af))
+
+let ret b v = set_term b (Ir.Ret v)
+
+let finish b =
+  let blocks =
+    List.rev b.blocks
+    |> List.mapi (fun i blk ->
+           match blk.term with
+           | None -> Ir.fail "builder %s: bb%d has no terminator" b.name i
+           | Some term ->
+               {
+                 Ir.params = blk.bparams;
+                 insts = Array.of_list (List.rev blk.insts);
+                 term;
+               })
+    |> Array.of_list
+  in
+  let f = { Ir.name = b.name; n_args = b.n_args; blocks } in
+  Ir.validate f;
+  f

@@ -1,0 +1,38 @@
+(** Imperative construction of {!Ir.func} values with a block cursor, in the
+    style of LLVM/SIL IRBuilders. All emission happens into the {e current}
+    block; [finish] freezes and validates the function. *)
+
+type t
+
+(** [create ~name ~n_args] starts a function whose entry block (bb0) has
+    [n_args] parameters; the cursor points at the entry block. *)
+val create : name:string -> n_args:int -> t
+
+(** [new_block b ~params] appends an empty block and returns its id (the
+    cursor does not move). *)
+val new_block : t -> params:int -> int
+
+(** Point the cursor at an existing block. *)
+val switch : t -> int -> unit
+
+(** Value id of the [i]-th parameter of the current block. *)
+val param : t -> int -> int
+
+(** {1 Instruction emission (returns the result's value id)} *)
+
+val const : t -> float -> int
+val unary : t -> Ir.unary_op -> int -> int
+val binary : t -> Ir.binary_op -> int -> int -> int
+val cmp : t -> Ir.cmp_op -> int -> int -> int
+val select : t -> cond:int -> if_true:int -> if_false:int -> int
+val call : t -> string -> int array -> int
+
+(** {1 Terminators (one per block)} *)
+
+val br : t -> int -> int array -> unit
+val cond_br : t -> cond:int -> if_true:int * int array -> if_false:int * int array -> unit
+val ret : t -> int -> unit
+
+(** Validates and returns the finished function. Raises {!Ir.Invalid_ir} if a
+    block lacks a terminator or validation fails. *)
+val finish : t -> Ir.func

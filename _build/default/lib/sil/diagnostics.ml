@@ -1,0 +1,61 @@
+type severity = Error | Warning
+
+type kind =
+  | Result_not_varied
+  | Nondifferentiable_use
+  | Unknown_callee of string
+
+type diagnostic = {
+  severity : severity;
+  kind : kind;
+  block : int;
+  inst : int;
+  message : string;
+}
+
+let check ?wrt ~has_derivative (f : Ir.func) =
+  let analysis = Activity.analyze ?wrt f in
+  let diags = ref [] in
+  let emit severity kind block inst message =
+    diags := { severity; kind; block; inst; message } :: !diags
+  in
+  if not (Activity.return_is_varied f analysis) then
+    emit Warning Result_not_varied (-1) (-1)
+      (Format.sprintf
+         "@%s: result does not depend on differentiable arguments; the \
+          gradient is zero"
+         f.name);
+  Array.iteri
+    (fun bi b ->
+      Array.iteri
+        (fun ii inst ->
+          let varied a = analysis.Activity.varied.(bi).(a) in
+          match (inst : Ir.inst) with
+          | Cmp (_, a, b2) when varied a || varied b2 ->
+              emit Warning Nondifferentiable_use bi ii
+                (Format.sprintf
+                   "@%s bb%d inst %d: comparison of varied values is \
+                    non-differentiable; derivatives through it are zero"
+                   f.name bi ii)
+          | Unary (Floor, a) when varied a ->
+              emit Warning Nondifferentiable_use bi ii
+                (Format.sprintf
+                   "@%s bb%d inst %d: floor of a varied value has zero \
+                    derivative almost everywhere"
+                   f.name bi ii)
+          | Call (callee, _) when not (has_derivative callee) ->
+              emit Error (Unknown_callee callee) bi ii
+                (Format.sprintf
+                   "@%s bb%d inst %d: no derivative available for callee @%s"
+                   f.name bi ii callee)
+          | Const _ | Unary _ | Binary _ | Cmp _ | Select _ | Call _ -> ())
+        b.Ir.insts)
+    f.blocks;
+  List.rev !diags
+
+let errors = List.filter (fun d -> d.severity = Error)
+
+let pp ppf d =
+  Format.fprintf ppf "%s: %s"
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    d.message

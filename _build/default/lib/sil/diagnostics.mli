@@ -1,0 +1,38 @@
+(** Differentiability checking (§2.2): "detects non-differentiable
+    instructions and emits errors and warnings ... that help users catch
+    errors before execution."
+
+    Diagnosed conditions:
+    - {b Warning} [Result_not_varied]: the return value does not
+      (differentiably) depend on any argument being differentiated — the
+      gradient is identically zero.
+    - {b Warning} [Nondifferentiable_use]: a comparison or [Floor] consumes a
+      varied value and its result is used — derivatives through that path are
+      zero almost everywhere.
+    - {b Error} [Unknown_callee]: a call to a function that is neither in the
+      module nor covered by a registered custom derivative, so no derivative
+      can be synthesized. *)
+
+type severity = Error | Warning
+
+type kind =
+  | Result_not_varied
+  | Nondifferentiable_use
+  | Unknown_callee of string
+
+type diagnostic = {
+  severity : severity;
+  kind : kind;
+  block : int;  (** -1 when the diagnostic is function-level. *)
+  inst : int;  (** -1 when the diagnostic is function-level. *)
+  message : string;
+}
+
+(** [check ?wrt ~has_derivative f] — [has_derivative name] must say whether a
+    derivative for callee [name] is obtainable (present in the module, or
+    custom-registered). *)
+val check :
+  ?wrt:int list -> has_derivative:(string -> bool) -> Ir.func -> diagnostic list
+
+val errors : diagnostic list -> diagnostic list
+val pp : Format.formatter -> diagnostic -> unit

@@ -1,0 +1,37 @@
+(** A reference interpreter for MSIL. Runs functions against a module
+    (name → function environment), with a fuel bound so mis-built loops fail
+    deterministically instead of hanging tests. *)
+
+type modul
+
+exception Runtime_error of string
+
+val create_module : unit -> modul
+
+(** [add m f] registers [f] under [f.name]; replaces any previous binding. *)
+val add : modul -> Ir.func -> unit
+
+val find : modul -> string -> Ir.func option
+
+val functions : modul -> Ir.func list
+
+(** [eval m f args] executes [f]. [fuel] bounds the number of executed
+    instructions (default 1_000_000). Raises {!Runtime_error} on arity
+    mismatch, unknown callee, or fuel exhaustion. *)
+val eval : ?fuel:int -> modul -> Ir.func -> float array -> float
+
+val eval_name : ?fuel:int -> modul -> string -> float array -> float
+
+(** Instructions executed by the most recent [eval] (including callees) —
+    used by tests asserting the efficient-gradient property of the
+    synthesized derivative code. *)
+val last_inst_count : unit -> int
+
+(** {1 Scalar semantics of individual operations}
+
+    Shared with the AD transform so the derivative code agrees exactly with
+    the interpreter's primal semantics. *)
+
+val apply_unary : Ir.unary_op -> float -> float
+val apply_binary : Ir.binary_op -> float -> float -> float
+val apply_cmp : Ir.cmp_op -> float -> float -> float

@@ -1,0 +1,288 @@
+exception Parse_error of string
+
+let fail line fmt =
+  Format.kasprintf (fun s -> raise (Parse_error (Format.sprintf "line %d: %s" line s))) fmt
+
+let unary_ops : (string * Ir.unary_op) list =
+  [
+    ("neg", Ir.Neg);
+    ("sin", Ir.Sin);
+    ("cos", Ir.Cos);
+    ("exp", Ir.Exp);
+    ("log", Ir.Log);
+    ("sqrt", Ir.Sqrt);
+    ("relu", Ir.Relu);
+    ("sigmoid", Ir.Sigmoid);
+    ("tanh", Ir.Tanh);
+    ("floor", Ir.Floor);
+  ]
+
+let binary_ops : (string * Ir.binary_op) list =
+  [
+    ("add", Ir.Add);
+    ("sub", Ir.Sub);
+    ("mul", Ir.Mul);
+    ("div", Ir.Div);
+    ("max", Ir.Max);
+    ("min", Ir.Min);
+  ]
+
+let cmp_ops : (string * Ir.cmp_op) list =
+  [ ("lt", Ir.Lt); ("le", Ir.Le); ("gt", Ir.Gt); ("ge", Ir.Ge); ("eq", Ir.Eq) ]
+
+(* --- tiny lexing helpers ------------------------------------------------ *)
+
+let strip s = String.trim s
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* split "a, b, c" into trimmed pieces; "" -> [] *)
+let split_commas s =
+  let s = strip s in
+  if s = "" then []
+  else List.map strip (String.split_on_char ',' s)
+
+let parse_value line s =
+  let s = strip s in
+  if String.length s < 2 || s.[0] <> 'v' then fail line "expected a value, got %S" s;
+  match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+  | Some v -> v
+  | None -> fail line "bad value name %S" s
+
+let parse_values line s = List.map (parse_value line) (split_commas s)
+
+(* "bb3(v1, v2)" -> (3, [|1; 2|]) *)
+let parse_target line s =
+  let s = strip s in
+  match String.index_opt s '(' with
+  | None -> fail line "expected branch target like bb1(...), got %S" s
+  | Some lp ->
+      if not (starts_with "bb" s) || s.[String.length s - 1] <> ')' then
+        fail line "malformed branch target %S" s;
+      let block =
+        match int_of_string_opt (String.sub s 2 (lp - 2)) with
+        | Some b -> b
+        | None -> fail line "bad block id in %S" s
+      in
+      let args = String.sub s (lp + 1) (String.length s - lp - 2) in
+      (block, Array.of_list (parse_values line args))
+
+(* split a cond_br operand list at top-level commas (commas inside
+   parentheses belong to branch-target argument lists) *)
+let split_toplevel_commas s =
+  let parts = ref [] in
+  let buf = Buffer.create 16 in
+  let depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' ->
+          incr depth;
+          Buffer.add_char buf c
+      | ')' ->
+          decr depth;
+          Buffer.add_char buf c
+      | ',' when !depth = 0 ->
+          parts := Buffer.contents buf :: !parts;
+          Buffer.clear buf
+      | c -> Buffer.add_char buf c)
+    s;
+  parts := Buffer.contents buf :: !parts;
+  List.rev_map strip !parts
+
+(* --- statement parsing --------------------------------------------------- *)
+
+type stmt =
+  | Inst of int * Ir.inst  (* declared result id, instruction *)
+  | Term of Ir.terminator
+
+let parse_rhs line rhs =
+  let rhs = strip rhs in
+  match String.index_opt rhs ' ' with
+  | None -> fail line "malformed instruction %S" rhs
+  | Some sp -> begin
+      let op = String.sub rhs 0 sp in
+      let rest = strip (String.sub rhs sp (String.length rhs - sp)) in
+      match op with
+      | "const" -> begin
+          match float_of_string_opt rest with
+          | Some c -> Ir.Const c
+          | None -> fail line "bad constant %S" rest
+        end
+      | "select" -> begin
+          match parse_values line rest with
+          | [ c; a; b ] -> Ir.Select (c, a, b)
+          | _ -> fail line "select takes three operands"
+        end
+      | "call" -> begin
+          match String.index_opt rest '(' with
+          | Some lp
+            when starts_with "@" rest && rest.[String.length rest - 1] = ')' ->
+              let name = String.sub rest 1 (lp - 1) in
+              let args = String.sub rest (lp + 1) (String.length rest - lp - 2) in
+              Ir.Call (name, Array.of_list (parse_values line args))
+          | _ -> fail line "malformed call %S" rest
+        end
+      | _ when starts_with "cmp_" op -> begin
+          let cmp_name = String.sub op 4 (String.length op - 4) in
+          match List.assoc_opt cmp_name cmp_ops with
+          | None -> fail line "unknown comparison %S" op
+          | Some c -> begin
+              match parse_values line rest with
+              | [ a; b ] -> Ir.Cmp (c, a, b)
+              | _ -> fail line "comparison takes two operands"
+            end
+        end
+      | _ -> begin
+          match (List.assoc_opt op unary_ops, List.assoc_opt op binary_ops) with
+          | Some u, _ -> begin
+              match parse_values line rest with
+              | [ a ] -> Ir.Unary (u, a)
+              | _ -> fail line "%s takes one operand" op
+            end
+          | None, Some b -> begin
+              match parse_values line rest with
+              | [ x; y ] -> Ir.Binary (b, x, y)
+              | _ -> fail line "%s takes two operands" op
+            end
+          | None, None -> fail line "unknown operation %S" op
+        end
+    end
+
+let parse_stmt line s =
+  if starts_with "ret " s then Term (Ir.Ret (parse_value line (String.sub s 4 (String.length s - 4))))
+  else if starts_with "br " s then begin
+    let t, args = parse_target line (String.sub s 3 (String.length s - 3)) in
+    Term (Ir.Br (t, args))
+  end
+  else if starts_with "cond_br " s then begin
+    let rest = String.sub s 8 (String.length s - 8) in
+    match split_toplevel_commas rest with
+    | [ c; tt; tf ] ->
+        let bt, at = parse_target line tt and bf, af = parse_target line tf in
+        Term (Ir.Cond_br (parse_value line c, bt, at, bf, af))
+    | _ -> fail line "cond_br takes a condition and two targets"
+  end
+  else begin
+    match String.index_opt s '=' with
+    | None -> fail line "expected an instruction or terminator, got %S" s
+    | Some eq ->
+        let lhs = parse_value line (String.sub s 0 eq) in
+        let rhs = String.sub s (eq + 1) (String.length s - eq - 1) in
+        Inst (lhs, parse_rhs line rhs)
+  end
+
+(* --- function parsing ---------------------------------------------------- *)
+
+type accum = {
+  mutable params : int;
+  mutable insts : Ir.inst list;  (* reversed *)
+  mutable term : Ir.terminator option;
+}
+
+let parse_func_lines lines start =
+  (* lines.(start) is the "func @name(N args) {" header *)
+  let header_line, header = lines.(start) in
+  let name, n_args =
+    try
+      Scanf.sscanf header "func @%s@(%d args) {" (fun n a -> (n, a))
+    with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+      fail header_line "malformed function header %S" header
+  in
+  let blocks : (int, accum) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  let current = ref None in
+  let i = ref (start + 1) in
+  let finished = ref false in
+  while (not !finished) && !i < Array.length lines do
+    let line_no, line = lines.(!i) in
+    incr i;
+    if line = "}" then finished := true
+    else if starts_with "bb" line && String.length line > 0 && line.[String.length line - 1] = ':' then begin
+      let body = String.sub line 0 (String.length line - 1) in
+      match String.index_opt body '(' with
+      | None -> fail line_no "malformed block header %S" line
+      | Some lp ->
+          let id =
+            match int_of_string_opt (String.sub body 2 (lp - 2)) with
+            | Some b -> b
+            | None -> fail line_no "bad block id %S" line
+          in
+          let params_str = String.sub body (lp + 1) (String.length body - lp - 2) in
+          let params = parse_values line_no params_str in
+          List.iteri
+            (fun k v ->
+              if v <> k then fail line_no "block parameters must be v0..vN in order")
+            params;
+          let acc = { params = List.length params; insts = []; term = None } in
+          Hashtbl.replace blocks id acc;
+          order := id :: !order;
+          current := Some acc
+    end
+    else begin
+      let acc =
+        match !current with
+        | Some a -> a
+        | None -> fail line_no "statement outside any block"
+      in
+      match parse_stmt line_no line with
+      | Term t ->
+          if acc.term <> None then fail line_no "block already terminated";
+          acc.term <- Some t
+      | Inst (lhs, inst) ->
+          if acc.term <> None then fail line_no "instruction after terminator";
+          let expected = acc.params + List.length acc.insts in
+          if lhs <> expected then
+            fail line_no "expected result v%d, got v%d (values must be dense)"
+              expected lhs;
+          acc.insts <- inst :: acc.insts
+    end
+  done;
+  if not !finished then fail (fst lines.(start)) "missing closing '}'";
+  let ids = List.rev !order in
+  List.iteri
+    (fun k id ->
+      if id <> k then
+        fail (fst lines.(start)) "blocks must be bb0..bbN in order (saw bb%d at position %d)" id k)
+    ids;
+  let block_array =
+    Array.of_list
+      (List.map
+         (fun id ->
+           let acc = Hashtbl.find blocks id in
+           match acc.term with
+           | None -> fail (fst lines.(start)) "bb%d has no terminator" id
+           | Some term ->
+               { Ir.params = acc.params; insts = Array.of_list (List.rev acc.insts); term })
+         ids)
+  in
+  let f = { Ir.name; n_args; blocks = block_array } in
+  Ir.validate f;
+  (f, !i)
+
+let relevant_lines text =
+  String.split_on_char '\n' text
+  |> List.mapi (fun i l -> (i + 1, strip l))
+  |> List.filter (fun (_, l) -> l <> "" && not (starts_with ";" l))
+  |> Array.of_list
+
+let parse_func text =
+  let lines = relevant_lines text in
+  if Array.length lines = 0 then raise (Parse_error "empty input");
+  let f, consumed = parse_func_lines lines 0 in
+  if consumed <> Array.length lines then
+    fail (fst lines.(consumed)) "trailing content after function";
+  f
+
+let parse_module text =
+  let lines = relevant_lines text in
+  let m = Interp.create_module () in
+  let i = ref 0 in
+  while !i < Array.length lines do
+    let f, next = parse_func_lines lines !i in
+    Interp.add m f;
+    i := next
+  done;
+  m

@@ -1,0 +1,25 @@
+(** A textual front end for MSIL, accepting exactly the syntax the pretty
+    printer ({!Ir.pp_func}) emits, so functions round-trip through text:
+
+    {v
+    func @mul_sin(2 args) {
+    bb0(v0, v1):
+      v2 = mul v0, v1
+      v3 = sin v0
+      v4 = add v2, v3
+      ret v4
+    }
+    v}
+
+    Value names must be [v<k>] numbered densely in definition order within
+    each block (parameters first), matching the IR's positional encoding.
+    Blank lines and [;]-prefixed comment lines are ignored. *)
+
+exception Parse_error of string
+(** Carries a message with the offending line number. *)
+
+(** Parse a single function. *)
+val parse_func : string -> Ir.func
+
+(** Parse a sequence of functions into a fresh module. *)
+val parse_module : string -> Interp.modul

@@ -1,0 +1,1 @@
+lib/spline/line_search.ml: Array Float

@@ -1,0 +1,1 @@
+lib/spline/spline.ml: Array Float S4o_core S4o_tensor

@@ -1,0 +1,68 @@
+type stats = {
+  iterations : int;
+  function_evals : int;
+  gradient_evals : int;
+  final_loss : float;
+  converged : bool;
+}
+
+type config = {
+  initial_step : float;
+  shrink : float;
+  armijo_c : float;
+  grad_tolerance : float;
+  max_iterations : int;
+  max_backtracks : int;
+}
+
+let default_config =
+  {
+    initial_step = 1.0;
+    shrink = 0.5;
+    armijo_c = 1e-4;
+    grad_tolerance = 1e-5;
+    max_iterations = 500;
+    max_backtracks = 40;
+  }
+
+let inf_norm a = Array.fold_left (fun m v -> Float.max m (Float.abs v)) 0.0 a
+
+let minimize ?(config = default_config) ~f ~f_grad x0 =
+  let x = Array.copy x0 in
+  let fevals = ref 0 and gevals = ref 0 in
+  let rec iterate iter =
+    let fx, grad = f_grad x in
+    incr gevals;
+    incr fevals;
+    if inf_norm grad <= config.grad_tolerance then (fx, iter, true)
+    else if iter >= config.max_iterations then (fx, iter, false)
+    else begin
+      let slope =
+        (* directional derivative along -grad: -|grad|^2 *)
+        -.Array.fold_left (fun acc g -> acc +. (g *. g)) 0.0 grad
+      in
+      let candidate step = Array.mapi (fun i xi -> xi -. (step *. grad.(i))) x in
+      let rec backtrack step tries =
+        let trial = candidate step in
+        let ft = f trial in
+        incr fevals;
+        if ft <= fx +. (config.armijo_c *. step *. slope) then Some trial
+        else if tries >= config.max_backtracks then None
+        else backtrack (step *. config.shrink) (tries + 1)
+      in
+      match backtrack config.initial_step 0 with
+      | Some trial ->
+          Array.blit trial 0 x 0 (Array.length x);
+          iterate (iter + 1)
+      | None -> (fx, iter, false)
+    end
+  in
+  let final_loss, iterations, converged = iterate 0 in
+  ( x,
+    {
+      iterations;
+      function_evals = !fevals;
+      gradient_evals = !gevals;
+      final_loss;
+      converged;
+    } )

@@ -1,0 +1,36 @@
+(** Backtracking line search (§5.1.3): "optimization algorithms such as
+    backtracking line search use derivatives to determine the step
+    direction." Gradient descent along the negative gradient, with the step
+    size found by Armijo backtracking each iteration.
+
+    The optimizer is fully instrumented — iterations, function evaluations,
+    and gradient evaluations — because the mobile-runtime cost models of
+    Table 4 charge per evaluation. *)
+
+type stats = {
+  iterations : int;
+  function_evals : int;
+  gradient_evals : int;
+  final_loss : float;
+  converged : bool;
+}
+
+type config = {
+  initial_step : float;
+  shrink : float;  (** Backtracking factor in (0, 1). *)
+  armijo_c : float;  (** Sufficient-decrease constant in (0, 1). *)
+  grad_tolerance : float;  (** Stop when the gradient's inf-norm falls below. *)
+  max_iterations : int;
+  max_backtracks : int;  (** Per-iteration cap on step shrinking. *)
+}
+
+val default_config : config
+
+(** [minimize ?config ~f ~f_grad x0] minimizes in place-free style: returns
+    the final point and stats. [f_grad] returns [(f x, grad f x)]. *)
+val minimize :
+  ?config:config ->
+  f:(float array -> float) ->
+  f_grad:(float array -> float * float array) ->
+  float array ->
+  float array * stats

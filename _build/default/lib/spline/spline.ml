@@ -1,0 +1,90 @@
+type t = { x_min : float; x_max : float; knots : float array }
+
+let create ~x_min ~x_max ~n_knots ~init =
+  if n_knots < 4 then invalid_arg "Spline.create: need at least 4 knots";
+  if x_max <= x_min then invalid_arg "Spline.create: empty range";
+  { x_min; x_max; knots = Array.make n_knots init }
+
+let n_knots t = Array.length t.knots
+
+(* Catmull-Rom segment weights for local parameter u in [0,1]: the cubic
+   through p1..p2 with tangents from p0 and p3. *)
+let catmull_rom_weights u =
+  let u2 = u *. u in
+  let u3 = u2 *. u in
+  ( 0.5 *. (-.u3 +. (2.0 *. u2) -. u),
+    0.5 *. ((3.0 *. u3) -. (5.0 *. u2) +. 2.0),
+    0.5 *. ((-3.0 *. u3) +. (4.0 *. u2) +. u),
+    0.5 *. (u3 -. u2) )
+
+(* Locate the segment and local parameter for [x]; knot indices are clamped
+   at the ends (repeated end knots). *)
+let locate ~x_min ~x_max ~n x =
+  let x = Float.min x_max (Float.max x_min x) in
+  let spacing = (x_max -. x_min) /. float_of_int (n - 1) in
+  let fi = (x -. x_min) /. spacing in
+  let seg = min (n - 2) (int_of_float fi) in
+  let u = fi -. float_of_int seg in
+  let clamp i = max 0 (min (n - 1) i) in
+  (clamp (seg - 1), seg, seg + 1, clamp (seg + 2), u)
+
+let eval t x =
+  let n = Array.length t.knots in
+  let i0, i1, i2, i3, u = locate ~x_min:t.x_min ~x_max:t.x_max ~n x in
+  let w0, w1, w2, w3 = catmull_rom_weights u in
+  (w0 *. t.knots.(i0)) +. (w1 *. t.knots.(i1)) +. (w2 *. t.knots.(i2))
+  +. (w3 *. t.knots.(i3))
+
+let eval_rev ~knots ~x_min ~x_max x =
+  let module R = S4o_core.Reverse in
+  let n = Array.length knots in
+  let i0, i1, i2, i3, u = locate ~x_min ~x_max ~n x in
+  let w0, w1, w2, w3 = catmull_rom_weights u in
+  R.add
+    (R.add (R.scale w0 knots.(i0)) (R.scale w1 knots.(i1)))
+    (R.add (R.scale w2 knots.(i2)) (R.scale w3 knots.(i3)))
+
+let loss t data =
+  let acc = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      let d = eval t x -. y in
+      acc := !acc +. (d *. d))
+    data;
+  !acc /. float_of_int (Array.length data)
+
+let loss_rev ~x_min ~x_max data knots =
+  let module R = S4o_core.Reverse in
+  let n = float_of_int (Array.length data) in
+  let acc =
+    Array.fold_left
+      (fun acc (x, y) ->
+        let d = R.add_const (-.y) (eval_rev ~knots ~x_min ~x_max x) in
+        R.add acc (R.mul d d))
+      (R.const 0.0) data
+  in
+  R.scale (1.0 /. n) acc
+
+let loss_grad t data =
+  let module R = S4o_core.Reverse in
+  R.grad (fun knots -> loss_rev ~x_min:t.x_min ~x_max:t.x_max data knots) t.knots
+
+let tape_ops_per_eval t data =
+  let module R = S4o_core.Reverse in
+  let _ = loss_grad t data in
+  ignore (loss t data);
+  R.last_tape_length ()
+
+(* A mildly wiggly ground truth: smooth enough for a spline, non-trivial
+   enough that convergence takes real work. *)
+let global_curve x = Float.sin (2.0 *. x) +. (0.5 *. x) +. (0.3 *. Float.cos (5.0 *. x))
+
+let sample_at rng shift ~n ~noise =
+  Array.init n (fun _ ->
+      let x = S4o_tensor.Prng.uniform rng ~lo:0.0 ~hi:3.0 in
+      let y = global_curve x +. shift +. S4o_tensor.Prng.gaussian rng ~mean:0.0 ~stddev:noise in
+      (x, y))
+
+let sample_global rng ~n ~noise = sample_at rng 0.0 ~n ~noise
+
+let sample_user rng ~user_shift ~n ~noise = sample_at rng user_shift ~n ~noise

@@ -1,0 +1,56 @@
+(** The personalization spline model of §5.1.3: a one-dimensional polynomial
+    spline whose knot values are learned by iterated optimization. "Splines
+    require orders of magnitude less computation [than deep models] and are
+    thus attractive in resource constrained environments such as mobile
+    phones."
+
+    The curve is a Catmull-Rom (local cubic) interpolant through [k] control
+    points at fixed, evenly spaced x-positions; the learnable parameters are
+    the control-point y-values. Evaluation is differentiable; gradients come
+    from the platform's scalar reverse-mode AD ([S4o_core.Reverse]),
+    demonstrating that "Swift's AD capabilities are not tied to any
+    underlying accelerator interface". *)
+
+type t = {
+  x_min : float;
+  x_max : float;
+  knots : float array;  (** learnable control-point values *)
+}
+
+(** [create ~x_min ~x_max ~n_knots ~init]. *)
+val create : x_min:float -> x_max:float -> n_knots:int -> init:float -> t
+
+val n_knots : t -> int
+
+(** Evaluate the spline at [x] (clamped to the knot range). *)
+val eval : t -> float -> float
+
+(** Evaluation with the knots as reverse-mode AD variables — the same
+    arithmetic as {!eval}, so primal values agree exactly. *)
+val eval_rev : knots:S4o_core.Reverse.t array -> x_min:float -> x_max:float -> float -> S4o_core.Reverse.t
+
+(** Mean-squared error of the spline on a dataset. *)
+val loss : t -> (float * float) array -> float
+
+(** [loss_grad t data]: (loss, d loss / d knots) via one reverse sweep. *)
+val loss_grad : t -> (float * float) array -> float * float array
+
+(** Scalar operations recorded on the AD tape by one loss+gradient
+    evaluation — the op count the mobile-runtime cost models consume. *)
+val tape_ops_per_eval : t -> (float * float) array -> int
+
+(** {1 Synthetic personalization data}
+
+    A "global" ground-truth curve shared by the population, plus a per-user
+    offset — the fine-tuning setup of Table 4 (train globally on aggregated
+    data, personalize on-device). *)
+
+val global_curve : float -> float
+
+val sample_global :
+  S4o_tensor.Prng.t -> n:int -> noise:float -> (float * float) array
+
+(** [sample_user rng ~user_shift ~n ~noise]: the user's local data, offset
+    from the global curve. *)
+val sample_user :
+  S4o_tensor.Prng.t -> user_shift:float -> n:int -> noise:float -> (float * float) array

@@ -1,0 +1,1 @@
+lib/tensor/backend_intf.ml: Convolution Dense Shape

@@ -1,0 +1,1 @@
+lib/tensor/convolution.ml: Array Dense Float Format Shape

@@ -1,0 +1,1 @@
+lib/tensor/convolution.mli: Dense Shape

@@ -1,0 +1,1 @@
+lib/tensor/dense.ml: Array Float Format List Prng Shape

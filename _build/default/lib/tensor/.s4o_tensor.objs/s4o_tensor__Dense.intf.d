@@ -1,0 +1,1 @@
+lib/tensor/dense.mli: Format Prng Shape

@@ -1,0 +1,1 @@
+lib/tensor/naive_backend.ml: Convolution Dense

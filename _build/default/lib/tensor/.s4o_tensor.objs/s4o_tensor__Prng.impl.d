@@ -1,0 +1,1 @@
+lib/tensor/prng.ml: Array Float Int64

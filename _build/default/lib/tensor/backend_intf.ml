@@ -1,0 +1,100 @@
+(** The Tensor API of §3, as a module signature. The platform provides three
+    implementations — {e naive} (this library's {!Naive_backend}), {e eager}
+    (op-by-op asynchronous dispatch, [S4o_eager]), and {e lazy}
+    ([S4o_lazy], tracing into an XLA-style JIT) — and user code such as the
+    NN library is a functor over this signature, so "switching devices"
+    is switching the functor argument, exactly as §3.3 describes. *)
+
+module type S = sig
+  type t
+
+  (** Human-readable backend name ("naive", "eager", "lazy"). *)
+  val name : string
+
+  (** {1 Transfers}
+
+      [to_dense] {e observes} the tensor's contents: on the eager backend it
+      synchronizes with the device, and on the lazy backend it cuts and
+      executes the pending trace. *)
+
+  val of_dense : Dense.t -> t
+  val to_dense : t -> Dense.t
+
+  (** Shape is always known without forcing execution (shape inference runs
+      while tracing). *)
+  val shape : t -> Shape.t
+
+  (** {1 Elementwise} *)
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val neg : t -> t
+  val scale : float -> t -> t
+  val add_scalar : float -> t -> t
+  val exp : t -> t
+  val log : t -> t
+  val sqrt : t -> t
+  val relu : t -> t
+  val sigmoid : t -> t
+  val tanh : t -> t
+
+  (** [relu_grad x g] is [g] where [x > 0], else [0] — the ReLU pullback as a
+      single kernel. *)
+  val relu_grad : t -> t -> t
+
+  (** {1 Shape manipulation} *)
+
+  val reshape : t -> Shape.t -> t
+  val transpose : t -> t
+  val broadcast_to : t -> Shape.t -> t
+
+  (** Adjoint of broadcasting: reduce-sum back to the given shape. *)
+  val unbroadcast : t -> Shape.t -> t
+
+  (** {1 Reductions} *)
+
+  val sum_axes : ?keep_dims:bool -> t -> int list -> t
+  val sum_all : t -> t
+  val mean_all : t -> t
+
+  (** {1 Linear algebra and NN kernels} *)
+
+  val matmul : t -> t -> t
+
+  (** Batched matrix product [\[b;m;k\] x \[b;k;n\]]. *)
+  val batch_matmul : t -> t -> t
+
+  (** Transpose of the trailing two axes of a rank-3 tensor. *)
+  val batch_transpose : t -> t
+
+  val conv2d :
+    ?stride:int * int -> padding:Convolution.padding -> t -> t -> t
+
+  val conv2d_backward_input :
+    ?stride:int * int ->
+    padding:Convolution.padding ->
+    input_shape:Shape.t ->
+    t ->
+    t ->
+    t
+
+  val conv2d_backward_filter :
+    ?stride:int * int ->
+    padding:Convolution.padding ->
+    filter_shape:Shape.t ->
+    t ->
+    t ->
+    t
+
+  val avg_pool2d : size:int * int -> stride:int * int -> t -> t
+
+  val avg_pool2d_backward :
+    size:int * int -> stride:int * int -> input_shape:Shape.t -> t -> t
+
+  val max_pool2d : size:int * int -> stride:int * int -> t -> t
+  val max_pool2d_backward : size:int * int -> stride:int * int -> t -> t -> t
+  val softmax : t -> t
+  val log_softmax : t -> t
+end

@@ -1,0 +1,288 @@
+type padding = Same | Valid
+
+let fail fmt = Format.kasprintf (fun s -> raise (Shape.Shape_error s)) fmt
+
+let out_dim padding ~size ~kernel ~stride =
+  match padding with
+  | Same -> ((size - 1) / stride) + 1
+  | Valid ->
+      if size < kernel then 0 else ((size - kernel) / stride) + 1
+
+let pad_amounts padding ~size ~kernel ~stride =
+  match padding with
+  | Valid -> (0, 0)
+  | Same ->
+      let out = out_dim Same ~size ~kernel ~stride in
+      let total = max 0 (((out - 1) * stride) + kernel - size) in
+      let before = total / 2 in
+      (before, total - before)
+
+let check_rank4 ctx t =
+  if Dense.rank t <> 4 then
+    fail "%s: expected rank-4 NHWC tensor, got %s" ctx
+      (Shape.to_string (Dense.shape t))
+
+let conv2d ?(stride = (1, 1)) ~padding input filter =
+  check_rank4 "conv2d input" input;
+  check_rank4 "conv2d filter" filter;
+  let sh, sw = stride in
+  let ishape = Dense.shape input and fshape = Dense.shape filter in
+  let n = ishape.(0) and h = ishape.(1) and w = ishape.(2) and cin = ishape.(3) in
+  let kh = fshape.(0) and kw = fshape.(1) and fcin = fshape.(2) and cout = fshape.(3) in
+  if cin <> fcin then
+    fail "conv2d: input channels %d vs filter channels %d" cin fcin;
+  let oh = out_dim padding ~size:h ~kernel:kh ~stride:sh in
+  let ow = out_dim padding ~size:w ~kernel:kw ~stride:sw in
+  let ph, _ = pad_amounts padding ~size:h ~kernel:kh ~stride:sh in
+  let pw, _ = pad_amounts padding ~size:w ~kernel:kw ~stride:sw in
+  let out = Dense.zeros [| n; oh; ow; cout |] in
+  let id = Dense.unsafe_data input
+  and fd = Dense.unsafe_data filter
+  and od = Dense.unsafe_data out in
+  for b = 0 to n - 1 do
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        for ky = 0 to kh - 1 do
+          let iy = (oy * sh) + ky - ph in
+          if iy >= 0 && iy < h then
+            for kx = 0 to kw - 1 do
+              let ix = (ox * sw) + kx - pw in
+              if ix >= 0 && ix < w then begin
+                let ibase = (((((b * h) + iy) * w) + ix) * cin) in
+                let fbase = ((((ky * kw) + kx) * cin)) in
+                let obase = (((((b * oh) + oy) * ow) + ox) * cout) in
+                for c = 0 to cin - 1 do
+                  let iv = id.(ibase + c) in
+                  if iv <> 0.0 then begin
+                    let frow = (fbase + c) * cout in
+                    for oc = 0 to cout - 1 do
+                      od.(obase + oc) <- od.(obase + oc) +. (iv *. fd.(frow + oc))
+                    done
+                  end
+                done
+              end
+            done
+        done
+      done
+    done
+  done;
+  out
+
+let conv2d_backward_input ?(stride = (1, 1)) ~padding ~input_shape filter grad =
+  check_rank4 "conv2d_backward_input grad" grad;
+  let sh, sw = stride in
+  let n = input_shape.(0)
+  and h = input_shape.(1)
+  and w = input_shape.(2)
+  and cin = input_shape.(3) in
+  let fshape = Dense.shape filter in
+  let kh = fshape.(0) and kw = fshape.(1) and cout = fshape.(3) in
+  let gshape = Dense.shape grad in
+  let oh = gshape.(1) and ow = gshape.(2) in
+  let ph, _ = pad_amounts padding ~size:h ~kernel:kh ~stride:sh in
+  let pw, _ = pad_amounts padding ~size:w ~kernel:kw ~stride:sw in
+  let dinput = Dense.zeros input_shape in
+  let dd = Dense.unsafe_data dinput
+  and fd = Dense.unsafe_data filter
+  and gd = Dense.unsafe_data grad in
+  for b = 0 to n - 1 do
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        for ky = 0 to kh - 1 do
+          let iy = (oy * sh) + ky - ph in
+          if iy >= 0 && iy < h then
+            for kx = 0 to kw - 1 do
+              let ix = (ox * sw) + kx - pw in
+              if ix >= 0 && ix < w then begin
+                let ibase = (((((b * h) + iy) * w) + ix) * cin) in
+                let fbase = (((ky * kw) + kx) * cin) in
+                let obase = (((((b * oh) + oy) * ow) + ox) * cout) in
+                for c = 0 to cin - 1 do
+                  let frow = (fbase + c) * cout in
+                  let acc = ref 0.0 in
+                  for oc = 0 to cout - 1 do
+                    acc := !acc +. (fd.(frow + oc) *. gd.(obase + oc))
+                  done;
+                  dd.(ibase + c) <- dd.(ibase + c) +. !acc
+                done
+              end
+            done
+        done
+      done
+    done
+  done;
+  dinput
+
+let conv2d_backward_filter ?(stride = (1, 1)) ~padding ~filter_shape input grad =
+  check_rank4 "conv2d_backward_filter input" input;
+  check_rank4 "conv2d_backward_filter grad" grad;
+  let sh, sw = stride in
+  let ishape = Dense.shape input in
+  let n = ishape.(0) and h = ishape.(1) and w = ishape.(2) and cin = ishape.(3) in
+  let kh = filter_shape.(0) and kw = filter_shape.(1) and cout = filter_shape.(3) in
+  let gshape = Dense.shape grad in
+  let oh = gshape.(1) and ow = gshape.(2) in
+  let ph, _ = pad_amounts padding ~size:h ~kernel:kh ~stride:sh in
+  let pw, _ = pad_amounts padding ~size:w ~kernel:kw ~stride:sw in
+  let dfilter = Dense.zeros filter_shape in
+  let dd = Dense.unsafe_data dfilter
+  and id = Dense.unsafe_data input
+  and gd = Dense.unsafe_data grad in
+  for b = 0 to n - 1 do
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        for ky = 0 to kh - 1 do
+          let iy = (oy * sh) + ky - ph in
+          if iy >= 0 && iy < h then
+            for kx = 0 to kw - 1 do
+              let ix = (ox * sw) + kx - pw in
+              if ix >= 0 && ix < w then begin
+                let ibase = (((((b * h) + iy) * w) + ix) * cin) in
+                let fbase = (((ky * kw) + kx) * cin) in
+                let obase = (((((b * oh) + oy) * ow) + ox) * cout) in
+                for c = 0 to cin - 1 do
+                  let iv = id.(ibase + c) in
+                  if iv <> 0.0 then begin
+                    let frow = (fbase + c) * cout in
+                    for oc = 0 to cout - 1 do
+                      dd.(frow + oc) <- dd.(frow + oc) +. (iv *. gd.(obase + oc))
+                    done
+                  end
+                done
+              end
+            done
+        done
+      done
+    done
+  done;
+  dfilter
+
+let pool_out_shape ishape (kh, kw) (sh, sw) =
+  let n = ishape.(0) and h = ishape.(1) and w = ishape.(2) and c = ishape.(3) in
+  let oh = out_dim Valid ~size:h ~kernel:kh ~stride:sh in
+  let ow = out_dim Valid ~size:w ~kernel:kw ~stride:sw in
+  [| n; oh; ow; c |]
+
+let avg_pool2d ~size ~stride input =
+  check_rank4 "avg_pool2d" input;
+  let kh, kw = size and sh, sw = stride in
+  let ishape = Dense.shape input in
+  let h = ishape.(1) and w = ishape.(2) and c = ishape.(3) in
+  let oshape = pool_out_shape ishape size stride in
+  let n = oshape.(0) and oh = oshape.(1) and ow = oshape.(2) in
+  let out = Dense.zeros oshape in
+  let id = Dense.unsafe_data input and od = Dense.unsafe_data out in
+  let inv = 1.0 /. float_of_int (kh * kw) in
+  for b = 0 to n - 1 do
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        for ch = 0 to c - 1 do
+          let acc = ref 0.0 in
+          for ky = 0 to kh - 1 do
+            for kx = 0 to kw - 1 do
+              let iy = (oy * sh) + ky and ix = (ox * sw) + kx in
+              acc := !acc +. id.((((((b * h) + iy) * w) + ix) * c) + ch)
+            done
+          done;
+          od.((((((b * oh) + oy) * ow) + ox) * c) + ch) <- !acc *. inv
+        done
+      done
+    done
+  done;
+  out
+
+let avg_pool2d_backward ~size ~stride ~input_shape grad =
+  let kh, kw = size and sh, sw = stride in
+  let h = input_shape.(1) and w = input_shape.(2) and c = input_shape.(3) in
+  let gshape = Dense.shape grad in
+  let n = gshape.(0) and oh = gshape.(1) and ow = gshape.(2) in
+  let dinput = Dense.zeros input_shape in
+  let dd = Dense.unsafe_data dinput and gd = Dense.unsafe_data grad in
+  let inv = 1.0 /. float_of_int (kh * kw) in
+  for b = 0 to n - 1 do
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        for ch = 0 to c - 1 do
+          let g = gd.((((((b * oh) + oy) * ow) + ox) * c) + ch) *. inv in
+          for ky = 0 to kh - 1 do
+            for kx = 0 to kw - 1 do
+              let iy = (oy * sh) + ky and ix = (ox * sw) + kx in
+              let off = (((((b * h) + iy) * w) + ix) * c) + ch in
+              dd.(off) <- dd.(off) +. g
+            done
+          done
+        done
+      done
+    done
+  done;
+  dinput
+
+let max_pool2d ~size ~stride input =
+  check_rank4 "max_pool2d" input;
+  let kh, kw = size and sh, sw = stride in
+  let ishape = Dense.shape input in
+  let h = ishape.(1) and w = ishape.(2) and c = ishape.(3) in
+  let oshape = pool_out_shape ishape size stride in
+  let n = oshape.(0) and oh = oshape.(1) and ow = oshape.(2) in
+  let out = Dense.zeros oshape in
+  let id = Dense.unsafe_data input and od = Dense.unsafe_data out in
+  for b = 0 to n - 1 do
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        for ch = 0 to c - 1 do
+          let best = ref Float.neg_infinity in
+          for ky = 0 to kh - 1 do
+            for kx = 0 to kw - 1 do
+              let iy = (oy * sh) + ky and ix = (ox * sw) + kx in
+              best := Float.max !best id.((((((b * h) + iy) * w) + ix) * c) + ch)
+            done
+          done;
+          od.((((((b * oh) + oy) * ow) + ox) * c) + ch) <- !best
+        done
+      done
+    done
+  done;
+  out
+
+let max_pool2d_backward ~size ~stride input grad =
+  check_rank4 "max_pool2d_backward" input;
+  let kh, kw = size and sh, sw = stride in
+  let ishape = Dense.shape input in
+  let h = ishape.(1) and w = ishape.(2) and c = ishape.(3) in
+  let gshape = Dense.shape grad in
+  let n = gshape.(0) and oh = gshape.(1) and ow = gshape.(2) in
+  let dinput = Dense.zeros ishape in
+  let dd = Dense.unsafe_data dinput
+  and id = Dense.unsafe_data input
+  and gd = Dense.unsafe_data grad in
+  for b = 0 to n - 1 do
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        for ch = 0 to c - 1 do
+          let best = ref Float.neg_infinity in
+          let best_off = ref (-1) in
+          for ky = 0 to kh - 1 do
+            for kx = 0 to kw - 1 do
+              let iy = (oy * sh) + ky and ix = (ox * sw) + kx in
+              let off = (((((b * h) + iy) * w) + ix) * c) + ch in
+              if id.(off) > !best then begin
+                best := id.(off);
+                best_off := off
+              end
+            done
+          done;
+          dd.(!best_off) <-
+            dd.(!best_off) +. gd.((((((b * oh) + oy) * ow) + ox) * c) + ch)
+        done
+      done
+    done
+  done;
+  dinput
+
+let conv2d_flops ?(stride = (1, 1)) ~padding ~input filter =
+  let sh, sw = stride in
+  let n = input.(0) and h = input.(1) and w = input.(2) in
+  let kh = filter.(0) and kw = filter.(1) and cin = filter.(2) and cout = filter.(3) in
+  let oh = out_dim padding ~size:h ~kernel:kh ~stride:sh in
+  let ow = out_dim padding ~size:w ~kernel:kw ~stride:sw in
+  2 * n * oh * ow * kh * kw * cin * cout

@@ -1,0 +1,449 @@
+type t = { shape : Shape.t; data : float array }
+
+exception Shape_error = Shape.Shape_error
+
+let fail fmt = Format.kasprintf (fun s -> raise (Shape_error s)) fmt
+
+(* {1 Creation} *)
+
+let create shape v =
+  Shape.check_valid shape;
+  { shape = Array.copy shape; data = Array.make (Shape.numel shape) v }
+
+let zeros shape = create shape 0.0
+let ones shape = create shape 1.0
+let scalar v = { shape = [||]; data = [| v |] }
+
+let of_array shape data =
+  Shape.check_valid shape;
+  if Array.length data <> Shape.numel shape then
+    fail "of_array: %d elements for shape %s" (Array.length data)
+      (Shape.to_string shape);
+  { shape = Array.copy shape; data = Array.copy data }
+
+let init_flat shape f =
+  Shape.check_valid shape;
+  { shape = Array.copy shape; data = Array.init (Shape.numel shape) f }
+
+let init shape f = init_flat shape (fun i -> f (Shape.unravel shape i))
+
+let arange n = init_flat [| n |] float_of_int
+
+let linspace ~lo ~hi n =
+  if n < 2 then fail "linspace: need at least 2 points";
+  let step = (hi -. lo) /. float_of_int (n - 1) in
+  init_flat [| n |] (fun i -> lo +. (step *. float_of_int i))
+
+let rand_uniform g ?(lo = 0.0) ?(hi = 1.0) shape =
+  init_flat shape (fun _ -> Prng.uniform g ~lo ~hi)
+
+let rand_normal g ?(mean = 0.0) ?(stddev = 1.0) shape =
+  init_flat shape (fun _ -> Prng.gaussian g ~mean ~stddev)
+
+(* {1 Access} *)
+
+let shape t = t.shape
+let rank t = Shape.rank t.shape
+let numel t = Array.length t.data
+
+let get t idx =
+  if Array.length idx <> rank t then
+    fail "get: index rank %d for shape %s" (Array.length idx)
+      (Shape.to_string t.shape);
+  t.data.(Shape.offset (Shape.strides t.shape) idx)
+
+let get_flat t i = t.data.(i)
+
+let item t =
+  if numel t <> 1 then fail "item: tensor has %d elements" (numel t);
+  t.data.(0)
+
+let to_array t = Array.copy t.data
+let unsafe_data t = t.data
+let copy t = { shape = Array.copy t.shape; data = Array.copy t.data }
+
+(* {1 Functional update} *)
+
+let set t idx v =
+  let fresh = copy t in
+  fresh.data.(Shape.offset (Shape.strides t.shape) idx) <- v;
+  fresh
+
+let set_flat t i v =
+  let fresh = copy t in
+  fresh.data.(i) <- v;
+  fresh
+
+(* {1 In-place} *)
+
+let fill_inplace t v = Array.fill t.data 0 (Array.length t.data) v
+
+let check_same_shape ctx a b =
+  if not (Shape.equal a.shape b.shape) then
+    fail "%s: shape mismatch %s vs %s" ctx (Shape.to_string a.shape)
+      (Shape.to_string b.shape)
+
+let add_inplace dst src =
+  check_same_shape "add_inplace" dst src;
+  for i = 0 to numel dst - 1 do
+    dst.data.(i) <- dst.data.(i) +. src.data.(i)
+  done
+
+let axpy_inplace ~alpha dst x =
+  check_same_shape "axpy_inplace" dst x;
+  for i = 0 to numel dst - 1 do
+    dst.data.(i) <- dst.data.(i) +. (alpha *. x.data.(i))
+  done
+
+let scale_inplace t alpha =
+  for i = 0 to numel t - 1 do
+    t.data.(i) <- alpha *. t.data.(i)
+  done
+
+let add_at_inplace t idx v =
+  let off = Shape.offset (Shape.strides t.shape) idx in
+  t.data.(off) <- t.data.(off) +. v
+
+(* {1 Elementwise} *)
+
+let map f t = { shape = Array.copy t.shape; data = Array.map f t.data }
+
+(* Broadcasting binary map. The fast path handles identical shapes with a
+   single flat loop; the general path walks the broadcast output shape and
+   maps each output index back through stride-0 "stretched" dimensions. *)
+let map2 f a b =
+  if Shape.equal a.shape b.shape then
+    {
+      shape = Array.copy a.shape;
+      data = Array.init (numel a) (fun i -> f a.data.(i) b.data.(i));
+    }
+  else begin
+    let out_shape = Shape.broadcast a.shape b.shape in
+    let r = Shape.rank out_shape in
+    let aligned_strides s =
+      (* strides of [s] aligned to the right of [out_shape], 0 on stretched
+         or missing dimensions *)
+      let rs = Shape.rank s in
+      let st = Shape.strides s in
+      Array.init r (fun i ->
+          let j = i - (r - rs) in
+          if j < 0 || s.(j) = 1 then 0 else st.(j))
+    in
+    let sa = aligned_strides a.shape and sb = aligned_strides b.shape in
+    let out = zeros out_shape in
+    let idx = Array.make r 0 in
+    let n = numel out in
+    for flat = 0 to n - 1 do
+      out.data.(flat) <- f a.data.(Shape.offset sa idx) b.data.(Shape.offset sb idx);
+      (* increment the multi-index, rightmost dimension fastest *)
+      let k = ref (r - 1) in
+      let carrying = ref (flat < n - 1) in
+      while !carrying && !k >= 0 do
+        idx.(!k) <- idx.(!k) + 1;
+        if idx.(!k) = out_shape.(!k) then begin
+          idx.(!k) <- 0;
+          decr k
+        end
+        else carrying := false
+      done
+    done;
+    out
+  end
+
+let add = map2 ( +. )
+let sub = map2 ( -. )
+let mul = map2 ( *. )
+let div = map2 ( /. )
+let neg = map (fun x -> -.x)
+let scale alpha = map (fun x -> alpha *. x)
+let add_scalar c = map (fun x -> c +. x)
+let pow_scalar t p = map (fun x -> Float.pow x p) t
+let exp = map Float.exp
+let log = map Float.log
+let sqrt = map Float.sqrt
+let abs = map Float.abs
+let sign = map (fun x -> if x > 0.0 then 1.0 else if x < 0.0 then -1.0 else 0.0)
+let relu = map (fun x -> if x > 0.0 then x else 0.0)
+let sigmoid = map (fun x -> 1.0 /. (1.0 +. Float.exp (-.x)))
+let tanh = map Float.tanh
+let maximum = map2 Float.max
+let minimum = map2 Float.min
+let clip ~lo ~hi = map (fun x -> Float.min hi (Float.max lo x))
+
+(* {1 Comparison} *)
+
+let equal a b = Shape.equal a.shape b.shape && a.data = b.data
+
+let allclose ?(rtol = 1e-5) ?(atol = 1e-8) a b =
+  Shape.equal a.shape b.shape
+  && begin
+       let ok = ref true in
+       for i = 0 to numel a - 1 do
+         let x = a.data.(i) and y = b.data.(i) in
+         if Float.abs (x -. y) > atol +. (rtol *. Float.abs y) then ok := false
+       done;
+       !ok
+     end
+
+(* {1 Reductions} *)
+
+let sum t = Array.fold_left ( +. ) 0.0 t.data
+let mean t = sum t /. float_of_int (numel t)
+let max_value t = Array.fold_left Float.max Float.neg_infinity t.data
+let min_value t = Array.fold_left Float.min Float.infinity t.data
+
+let sum_axes ?(keep_dims = false) t axes =
+  let out_shape_kept = Shape.reduce_axes ~keep_dims:true t.shape axes in
+  let out = zeros out_shape_kept in
+  let st_out = Shape.strides out_shape_kept in
+  let r = rank t in
+  let n = numel t in
+  let idx = Array.make r 0 in
+  for flat = 0 to n - 1 do
+    (* the output offset ignores reduced axes because their kept size is 1 *)
+    let off = ref 0 in
+    for i = 0 to r - 1 do
+      if out_shape_kept.(i) <> 1 then off := !off + (st_out.(i) * idx.(i))
+    done;
+    out.data.(!off) <- out.data.(!off) +. t.data.(flat);
+    let k = ref (r - 1) in
+    let carrying = ref (flat < n - 1) in
+    while !carrying && !k >= 0 do
+      idx.(!k) <- idx.(!k) + 1;
+      if idx.(!k) = t.shape.(!k) then begin
+        idx.(!k) <- 0;
+        decr k
+      end
+      else carrying := false
+    done
+  done;
+  if keep_dims then out
+  else { out with shape = Shape.reduce_axes ~keep_dims:false t.shape axes }
+
+let mean_axes ?keep_dims t axes =
+  let reduced =
+    List.fold_left (fun acc ax -> acc * t.shape.(ax)) 1 axes |> float_of_int
+  in
+  scale (1.0 /. reduced) (sum_axes ?keep_dims t axes)
+
+let argmax_rows t =
+  if rank t <> 2 then fail "argmax_rows: expected rank 2, got %s" (Shape.to_string t.shape);
+  let n = t.shape.(0) and c = t.shape.(1) in
+  Array.init n (fun i ->
+      let best = ref 0 in
+      for j = 1 to c - 1 do
+        if t.data.((i * c) + j) > t.data.((i * c) + !best) then best := j
+      done;
+      !best)
+
+(* {1 Shape manipulation} *)
+
+let reshape t new_shape =
+  Shape.check_valid new_shape;
+  if not (Shape.can_reshape t.shape new_shape) then
+    fail "reshape: %s to %s" (Shape.to_string t.shape) (Shape.to_string new_shape);
+  { shape = Array.copy new_shape; data = Array.copy t.data }
+
+let flatten_to_2d t =
+  if rank t < 1 then fail "flatten_to_2d: rank 0";
+  let n = t.shape.(0) in
+  reshape t [| n; numel t / n |]
+
+let broadcast_to t target =
+  let out = Shape.broadcast t.shape target in
+  if not (Shape.equal out target) then
+    fail "broadcast_to: %s does not broadcast to %s" (Shape.to_string t.shape)
+      (Shape.to_string target);
+  map2 (fun x _ -> x) t (zeros target)
+
+let unbroadcast t target =
+  if Shape.equal t.shape target then t
+  else begin
+    let r = rank t and rt = Shape.rank target in
+    (* sum away leading extra dimensions *)
+    let lead = List.init (r - rt) (fun i -> i) in
+    let t = if lead = [] then t else sum_axes t lead in
+    (* sum over stretched (size-1) dimensions, keeping dims *)
+    let axes = ref [] in
+    Array.iteri
+      (fun i d -> if d = 1 && (shape t).(i) <> 1 then axes := i :: !axes)
+      target;
+    let t = if !axes = [] then t else sum_axes ~keep_dims:true t !axes in
+    reshape t target
+  end
+
+let transpose t =
+  if rank t <> 2 then fail "transpose: expected rank 2, got %s" (Shape.to_string t.shape);
+  let m = t.shape.(0) and n = t.shape.(1) in
+  init_flat [| n; m |] (fun flat ->
+      let i = flat / m and j = flat mod m in
+      t.data.((j * n) + i))
+
+let permute t perm =
+  let r = rank t in
+  if Array.length perm <> r then fail "permute: rank mismatch";
+  let seen = Array.make r false in
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= r || seen.(p) then fail "permute: invalid permutation";
+      seen.(p) <- true)
+    perm;
+  let out_shape = Array.map (fun p -> t.shape.(p)) perm in
+  let st = Shape.strides t.shape in
+  init out_shape (fun out_idx ->
+      let src = Array.make r 0 in
+      Array.iteri (fun i p -> src.(p) <- out_idx.(i)) perm;
+      t.data.(Shape.offset st src))
+
+let concat a b axis =
+  let out_shape = Shape.concat_dim a.shape b.shape axis in
+  let st_a = Shape.strides a.shape and st_b = Shape.strides b.shape in
+  init out_shape (fun idx ->
+      if idx.(axis) < a.shape.(axis) then a.data.(Shape.offset st_a idx)
+      else begin
+        let idx' = Array.copy idx in
+        idx'.(axis) <- idx.(axis) - a.shape.(axis);
+        b.data.(Shape.offset st_b idx')
+      end)
+
+let slice t ~axis ~start ~len =
+  if axis < 0 || axis >= rank t then fail "slice: axis %d out of range" axis;
+  if start < 0 || len < 0 || start + len > t.shape.(axis) then
+    fail "slice: [%d, %d) out of bounds for axis of size %d" start (start + len)
+      t.shape.(axis);
+  let out_shape = Array.copy t.shape in
+  out_shape.(axis) <- len;
+  let st = Shape.strides t.shape in
+  init out_shape (fun idx ->
+      let idx' = Array.copy idx in
+      idx'.(axis) <- idx.(axis) + start;
+      t.data.(Shape.offset st idx'))
+
+let one_hot ~classes labels =
+  let n = numel labels in
+  let out = zeros [| n; classes |] in
+  for i = 0 to n - 1 do
+    let c = int_of_float labels.data.(i) in
+    if c < 0 || c >= classes then fail "one_hot: label %d out of range" c;
+    out.data.((i * classes) + c) <- 1.0
+  done;
+  out
+
+(* {1 Linear algebra} *)
+
+let matmul a b =
+  if rank a <> 2 || rank b <> 2 then
+    fail "matmul: expected rank-2 operands, got %s and %s"
+      (Shape.to_string a.shape) (Shape.to_string b.shape);
+  let m = a.shape.(0) and k = a.shape.(1) in
+  let k' = b.shape.(0) and n = b.shape.(1) in
+  if k <> k' then
+    fail "matmul: inner dimensions %d and %d differ" k k';
+  let out = zeros [| m; n |] in
+  for i = 0 to m - 1 do
+    for p = 0 to k - 1 do
+      let aip = a.data.((i * k) + p) in
+      if aip <> 0.0 then
+        for j = 0 to n - 1 do
+          out.data.((i * n) + j) <-
+            out.data.((i * n) + j) +. (aip *. b.data.((p * n) + j))
+        done
+    done
+  done;
+  out
+
+let dot a b =
+  if rank a <> 1 || rank b <> 1 || numel a <> numel b then
+    fail "dot: expected equal-length vectors";
+  let acc = ref 0.0 in
+  for i = 0 to numel a - 1 do
+    acc := !acc +. (a.data.(i) *. b.data.(i))
+  done;
+  !acc
+
+(* {1 NN math} *)
+
+let softmax t =
+  if rank t <> 2 then fail "softmax: expected rank 2, got %s" (Shape.to_string t.shape);
+  let n = t.shape.(0) and c = t.shape.(1) in
+  let out = zeros t.shape in
+  for i = 0 to n - 1 do
+    let m = ref Float.neg_infinity in
+    for j = 0 to c - 1 do
+      m := Float.max !m t.data.((i * c) + j)
+    done;
+    let z = ref 0.0 in
+    for j = 0 to c - 1 do
+      let e = Float.exp (t.data.((i * c) + j) -. !m) in
+      out.data.((i * c) + j) <- e;
+      z := !z +. e
+    done;
+    for j = 0 to c - 1 do
+      out.data.((i * c) + j) <- out.data.((i * c) + j) /. !z
+    done
+  done;
+  out
+
+let log_softmax t =
+  if rank t <> 2 then fail "log_softmax: expected rank 2, got %s" (Shape.to_string t.shape);
+  let n = t.shape.(0) and c = t.shape.(1) in
+  let out = zeros t.shape in
+  for i = 0 to n - 1 do
+    let m = ref Float.neg_infinity in
+    for j = 0 to c - 1 do
+      m := Float.max !m t.data.((i * c) + j)
+    done;
+    let z = ref 0.0 in
+    for j = 0 to c - 1 do
+      z := !z +. Float.exp (t.data.((i * c) + j) -. !m)
+    done;
+    let lse = !m +. Float.log !z in
+    for j = 0 to c - 1 do
+      out.data.((i * c) + j) <- t.data.((i * c) + j) -. lse
+    done
+  done;
+  out
+
+(* {1 Printing} *)
+
+let pp ppf t =
+  let n = numel t in
+  let budget = 16 in
+  Format.fprintf ppf "Tensor%s [" (Shape.to_string t.shape);
+  for i = 0 to min n budget - 1 do
+    if i > 0 then Format.fprintf ppf ", ";
+    Format.fprintf ppf "%g" t.data.(i)
+  done;
+  if n > budget then Format.fprintf ppf ", ...";
+  Format.fprintf ppf "]"
+
+let to_string t = Format.asprintf "%a" pp t
+
+let batch_matmul a b =
+  if rank a <> 3 || rank b <> 3 then
+    fail "batch_matmul: expected rank-3 operands, got %s and %s"
+      (Shape.to_string a.shape) (Shape.to_string b.shape);
+  let bs = a.shape.(0) and m = a.shape.(1) and k = a.shape.(2) in
+  if b.shape.(0) <> bs || b.shape.(1) <> k then
+    fail "batch_matmul: %s x %s" (Shape.to_string a.shape) (Shape.to_string b.shape);
+  let n = b.shape.(2) in
+  let out = zeros [| bs; m; n |] in
+  for batch = 0 to bs - 1 do
+    let abase = batch * m * k and bbase = batch * k * n and obase = batch * m * n in
+    for i = 0 to m - 1 do
+      for p = 0 to k - 1 do
+        let aip = a.data.(abase + (i * k) + p) in
+        if aip <> 0.0 then
+          for j = 0 to n - 1 do
+            out.data.(obase + (i * n) + j) <-
+              out.data.(obase + (i * n) + j) +. (aip *. b.data.(bbase + (p * n) + j))
+          done
+      done
+    done
+  done;
+  out
+
+let batch_transpose t =
+  if rank t <> 3 then
+    fail "batch_transpose: expected rank 3, got %s" (Shape.to_string t.shape);
+  permute t [| 0; 2; 1 |]

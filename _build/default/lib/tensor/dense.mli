@@ -1,0 +1,183 @@
+(** The naive Tensor of §3.1: a single-threaded multi-dimensional array backed
+    by a plain OCaml [float array], with no external dependencies.
+
+    The API has {e value semantics}: every operation returns a fresh tensor
+    and never aliases the argument buffers, so distinct values access
+    logically disjoint data (§4). A small set of explicitly named
+    [*_inplace] operations mutate their first argument; they model Swift's
+    [inout] unique borrow and must only be applied to values the caller
+    uniquely owns (this is what the optimizer's in-place update path uses). *)
+
+type t
+
+exception Shape_error of string
+(** Re-raised from {!Shape}[.Shape_error] for shape mismatches. *)
+
+(** {1 Creation} *)
+
+val create : Shape.t -> float -> t
+val zeros : Shape.t -> t
+val ones : Shape.t -> t
+val scalar : float -> t
+
+(** [of_array shape data] copies [data]; its length must equal
+    [Shape.numel shape]. *)
+val of_array : Shape.t -> float array -> t
+
+(** [init shape f] fills element at multi-index [idx] with [f idx]. *)
+val init : Shape.t -> (int array -> float) -> t
+
+(** [init_flat shape f] fills flat position [i] with [f i]. *)
+val init_flat : Shape.t -> (int -> float) -> t
+
+val arange : int -> t
+val linspace : lo:float -> hi:float -> int -> t
+val rand_uniform : Prng.t -> ?lo:float -> ?hi:float -> Shape.t -> t
+val rand_normal : Prng.t -> ?mean:float -> ?stddev:float -> Shape.t -> t
+
+(** {1 Access} *)
+
+val shape : t -> Shape.t
+val rank : t -> int
+val numel : t -> int
+val get : t -> int array -> float
+val get_flat : t -> int -> float
+
+(** Extracts the value of a rank-0 or single-element tensor. *)
+val item : t -> float
+
+(** Copy of the underlying buffer in row-major order. *)
+val to_array : t -> float array
+
+(** The underlying buffer itself, not a copy. Mutating it breaks value
+    semantics; reserved for kernels and backends. *)
+val unsafe_data : t -> float array
+
+val copy : t -> t
+
+(** {1 Functional update} *)
+
+(** [set t idx v] is a copy of [t] with element [idx] replaced. *)
+val set : t -> int array -> float -> t
+
+val set_flat : t -> int -> float -> t
+
+(** {1 In-place (unique-borrow) operations} *)
+
+val fill_inplace : t -> float -> unit
+
+(** [add_inplace dst src]: [dst <- dst + src] (shapes must match). *)
+val add_inplace : t -> t -> unit
+
+(** [axpy_inplace ~alpha dst x]: [dst <- dst + alpha * x]. *)
+val axpy_inplace : alpha:float -> t -> t -> unit
+
+(** [scale_inplace t alpha]: [t <- alpha * t]. *)
+val scale_inplace : t -> float -> unit
+
+(** [add_at_inplace t idx v]: [t.(idx) <- t.(idx) + v] — the O(1) inout
+    pullback primitive of Appendix B. *)
+val add_at_inplace : t -> int array -> float -> unit
+
+(** {1 Elementwise} *)
+
+val map : (float -> float) -> t -> t
+
+(** Broadcasting binary map (NumPy rules). *)
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val scale : float -> t -> t
+val add_scalar : float -> t -> t
+val pow_scalar : t -> float -> t
+val exp : t -> t
+val log : t -> t
+val sqrt : t -> t
+val abs : t -> t
+val sign : t -> t
+val relu : t -> t
+val sigmoid : t -> t
+val tanh : t -> t
+val maximum : t -> t -> t
+val minimum : t -> t -> t
+val clip : lo:float -> hi:float -> t -> t
+
+(** {1 Comparison} *)
+
+val equal : t -> t -> bool
+val allclose : ?rtol:float -> ?atol:float -> t -> t -> bool
+
+(** {1 Reductions} *)
+
+val sum : t -> float
+val mean : t -> float
+val max_value : t -> float
+val min_value : t -> float
+
+(** [sum_axes ?keep_dims t axes] sums over the given axes. *)
+val sum_axes : ?keep_dims:bool -> t -> int list -> t
+
+val mean_axes : ?keep_dims:bool -> t -> int list -> t
+
+(** Row-wise argmax of a [\[n; c\]] tensor. *)
+val argmax_rows : t -> int array
+
+(** {1 Shape manipulation} *)
+
+val reshape : t -> Shape.t -> t
+val flatten_to_2d : t -> t
+(** Collapses all but the first axis: [\[n; ...\]] to [\[n; rest\]]. *)
+
+(** [broadcast_to t shape] materializes [t] broadcast to [shape]. *)
+val broadcast_to : t -> Shape.t -> t
+
+(** [unbroadcast t shape] sums [t] back down to [shape] — the adjoint of
+    [broadcast_to], used by reverse-mode AD. *)
+val unbroadcast : t -> Shape.t -> t
+
+(** 2-D transpose. *)
+val transpose : t -> t
+
+(** General axis permutation. *)
+val permute : t -> int array -> t
+
+val concat : t -> t -> int -> t
+
+(** [slice t ~axis ~start ~len]. *)
+val slice : t -> axis:int -> start:int -> len:int -> t
+
+(** [one_hot ~classes labels] maps [\[n\]] integer-valued entries to
+    [\[n; classes\]]. *)
+val one_hot : classes:int -> t -> t
+
+(** {1 Linear algebra} *)
+
+(** 2-D matrix product [\[m;k\] x \[k;n\] -> \[m;n\]]. *)
+val matmul : t -> t -> t
+
+(** 1-D dot product. *)
+val dot : t -> t -> float
+
+(** {1 NN math} *)
+
+(** Numerically-stable softmax over the last axis of a 2-D tensor. *)
+val softmax : t -> t
+
+val log_softmax : t -> t
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Batched linear algebra} *)
+
+(** Batched matrix product [\[b;m;k\] x \[b;k;n\] -> \[b;m;n\]]. *)
+val batch_matmul : t -> t -> t
+
+(** Transpose of the trailing two axes of a rank-3 tensor. *)
+val batch_transpose : t -> t

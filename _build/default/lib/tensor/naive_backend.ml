@@ -1,0 +1,43 @@
+(** The naive backend of §3.1: {!Dense} tensors executed synchronously on the
+    host with zero dispatch machinery. Portable, low-overhead, and ideal for
+    small tensors (the mobile spline experiment of §5.1.3 runs on it). *)
+
+type t = Dense.t
+
+let name = "naive"
+let of_dense t = t
+let to_dense t = t
+let shape = Dense.shape
+let add = Dense.add
+let sub = Dense.sub
+let mul = Dense.mul
+let div = Dense.div
+let neg = Dense.neg
+let scale = Dense.scale
+let add_scalar = Dense.add_scalar
+let exp = Dense.exp
+let log = Dense.log
+let sqrt = Dense.sqrt
+let relu = Dense.relu
+let sigmoid = Dense.sigmoid
+let tanh = Dense.tanh
+let relu_grad x g = Dense.map2 (fun xv gv -> if xv > 0.0 then gv else 0.0) x g
+let reshape = Dense.reshape
+let transpose = Dense.transpose
+let broadcast_to = Dense.broadcast_to
+let unbroadcast = Dense.unbroadcast
+let sum_axes = Dense.sum_axes
+let sum_all t = Dense.scalar (Dense.sum t)
+let mean_all t = Dense.scalar (Dense.mean t)
+let matmul = Dense.matmul
+let batch_matmul = Dense.batch_matmul
+let batch_transpose = Dense.batch_transpose
+let conv2d = Convolution.conv2d
+let conv2d_backward_input = Convolution.conv2d_backward_input
+let conv2d_backward_filter = Convolution.conv2d_backward_filter
+let avg_pool2d = Convolution.avg_pool2d
+let avg_pool2d_backward = Convolution.avg_pool2d_backward
+let max_pool2d = Convolution.max_pool2d
+let max_pool2d_backward = Convolution.max_pool2d_backward
+let softmax = Dense.softmax
+let log_softmax = Dense.log_softmax

@@ -1,0 +1,49 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden;
+  mix g.state
+
+let split g = { state = mix (next_int64 g) }
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* keep 62 bits so the value stays non-negative in OCaml's 63-bit int *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2) in
+  r mod bound
+
+let float g =
+  (* 53 random mantissa bits scaled into [0, 1) *)
+  let bits = Int64.shift_right_logical (next_int64 g) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let uniform g ~lo ~hi = lo +. ((hi -. lo) *. float g)
+
+let normal g =
+  let u1 = ref (float g) in
+  while !u1 <= 1e-300 do
+    u1 := float g
+  done;
+  let u2 = float g in
+  sqrt (-2.0 *. log !u1) *. cos (2.0 *. Float.pi *. u2)
+
+let gaussian g ~mean ~stddev = mean +. (stddev *. normal g)
+
+let permutation g n =
+  let a = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a

@@ -1,0 +1,33 @@
+(** A small, deterministic, splittable pseudo-random number generator
+    (SplitMix64). Used for reproducible weight initialization and synthetic
+    data generation: the same seed always produces the same tensors on every
+    platform, which keeps tests and benchmark workloads deterministic. *)
+
+type t
+
+(** Create a generator from a seed. *)
+val create : int -> t
+
+(** [split g] derives an independent generator; [g] advances. *)
+val split : t -> t
+
+(** Next raw 64 bits (advances the state). *)
+val next_int64 : t -> int64
+
+(** Uniform in [\[0, bound)]. [bound] must be positive. *)
+val int : t -> int -> int
+
+(** Uniform float in [\[0, 1)]. *)
+val float : t -> float
+
+(** Uniform float in [\[lo, hi)]. *)
+val uniform : t -> lo:float -> hi:float -> float
+
+(** Standard normal via Box–Muller. *)
+val normal : t -> float
+
+(** Gaussian with the given moments. *)
+val gaussian : t -> mean:float -> stddev:float -> float
+
+(** Fisher–Yates shuffle of [0..n-1]. *)
+val permutation : t -> int -> int array

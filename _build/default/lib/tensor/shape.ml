@@ -1,0 +1,88 @@
+type t = int array
+
+exception Shape_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Shape_error s)) fmt
+
+let check_valid s =
+  Array.iter (fun d -> if d < 0 then fail "negative dimension %d" d) s
+
+let rank = Array.length
+
+let numel s = Array.fold_left ( * ) 1 s
+
+let equal a b = a = b
+
+let to_string s =
+  if rank s = 0 then "[]"
+  else "[" ^ String.concat "x" (Array.to_list (Array.map string_of_int s)) ^ "]"
+
+let pp ppf s = Format.pp_print_string ppf (to_string s)
+
+let strides s =
+  let n = rank s in
+  let st = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    st.(i) <- st.(i + 1) * s.(i + 1)
+  done;
+  st
+
+let offset st idx =
+  let acc = ref 0 in
+  for i = 0 to Array.length idx - 1 do
+    acc := !acc + (st.(i) * idx.(i))
+  done;
+  !acc
+
+let unravel s flat =
+  let st = strides s in
+  Array.mapi (fun i _ -> flat / st.(i) mod s.(i)) s
+
+let broadcast a b =
+  let ra = rank a and rb = rank b in
+  let r = max ra rb in
+  let dim s rs i =
+    (* dimension of [s] aligned from the right at output position [i] *)
+    let j = i - (r - rs) in
+    if j < 0 then 1 else s.(j)
+  in
+  Array.init r (fun i ->
+      let da = dim a ra i and db = dim b rb i in
+      if da = db then da
+      else if da = 1 then db
+      else if db = 1 then da
+      else fail "cannot broadcast %s with %s" (to_string a) (to_string b))
+
+let broadcastable a b =
+  match broadcast a b with _ -> true | exception Shape_error _ -> false
+
+let can_reshape a b = numel a = numel b
+
+let reduce_axes ?(keep_dims = false) s axes =
+  let r = rank s in
+  List.iter
+    (fun ax ->
+      if ax < 0 || ax >= r then fail "axis %d out of range for %s" ax (to_string s))
+    axes;
+  let sorted = List.sort_uniq compare axes in
+  if List.length sorted <> List.length axes then fail "duplicate reduction axes";
+  if keep_dims then
+    Array.mapi (fun i d -> if List.mem i sorted then 1 else d) s
+  else
+    s |> Array.to_list
+    |> List.filteri (fun i _ -> not (List.mem i sorted))
+    |> Array.of_list
+
+let concat_dim a b axis =
+  if rank a <> rank b then
+    fail "concat rank mismatch: %s vs %s" (to_string a) (to_string b);
+  if axis < 0 || axis >= rank a then fail "concat axis %d out of range" axis;
+  Array.mapi
+    (fun i d ->
+      if i = axis then d + b.(i)
+      else if d = b.(i) then d
+      else fail "concat dim mismatch at axis %d: %s vs %s" i (to_string a) (to_string b))
+    a
+
+let hash s =
+  Array.fold_left (fun acc d -> (acc * 1000003) lxor (d + 0x9e3779b9)) (rank s) s

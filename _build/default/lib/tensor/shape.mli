@@ -1,0 +1,57 @@
+(** Tensor shapes: dimension vectors with row-major stride arithmetic and
+    NumPy-style broadcasting. A shape is an immutable array of non-negative
+    dimensions; rank-0 shapes denote scalars. *)
+
+type t = int array
+
+exception Shape_error of string
+
+(** [check_valid s] raises {!Shape_error} if any dimension is negative. *)
+val check_valid : t -> unit
+
+(** Number of dimensions. *)
+val rank : t -> int
+
+(** Total number of elements, i.e. the product of all dimensions. The empty
+    shape has one element (a scalar). *)
+val numel : t -> int
+
+val equal : t -> t -> bool
+
+(** Renders as e.g. ["[2x3x4]"]; scalars render as ["[]"]. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Row-major strides: [strides [|2;3;4|] = [|12;4;1|]]. *)
+val strides : t -> int array
+
+(** [offset strides idx] is the flat offset of multi-index [idx]. *)
+val offset : int array -> int array -> int
+
+(** [unravel s flat] is the multi-index corresponding to flat offset [flat]
+    under row-major layout. *)
+val unravel : t -> int -> int array
+
+(** [broadcast a b] is the NumPy broadcast of the two shapes. Dimensions are
+    aligned from the right; size-1 dimensions stretch. Raises {!Shape_error}
+    when the shapes are incompatible. *)
+val broadcast : t -> t -> t
+
+(** [broadcastable a b] is true iff [broadcast a b] would succeed. *)
+val broadcastable : t -> t -> bool
+
+(** [can_reshape a b] is true iff both shapes have the same element count. *)
+val can_reshape : t -> t -> bool
+
+(** [reduce_axes s axes] removes (when [keep_dims] is false, the default) or
+    collapses to 1 (when true) the given axes. Axes must be distinct and in
+    range; raises {!Shape_error} otherwise. *)
+val reduce_axes : ?keep_dims:bool -> t -> int list -> t
+
+(** [concat_dim a b axis] is the shape of concatenating along [axis]; all
+    other dimensions must match. *)
+val concat_dim : t -> t -> int -> t
+
+(** A stable structural hash suitable for trace-cache keys. *)
+val hash : t -> int

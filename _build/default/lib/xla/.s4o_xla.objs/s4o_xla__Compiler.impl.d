@@ -1,0 +1,1 @@
+lib/xla/compiler.ml: Array Dense Format Hashtbl Hlo List Opt Option S4o_device S4o_tensor Shape

@@ -1,0 +1,1 @@
+lib/xla/compiler.mli: Hlo S4o_device S4o_tensor

@@ -1,0 +1,1 @@
+lib/xla/hlo.ml: Buffer Dense Format Hashtbl List S4o_device S4o_tensor Shape String

@@ -1,0 +1,1 @@
+lib/xla/hlo.mli: Dense Format S4o_device S4o_tensor Shape

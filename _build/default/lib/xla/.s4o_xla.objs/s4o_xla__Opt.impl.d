@@ -1,0 +1,1 @@
+lib/xla/opt.ml: Array Dense Format Hashtbl Hlo List Option S4o_device S4o_tensor Shape String

@@ -1,0 +1,1 @@
+lib/xla/opt.mli: Hlo S4o_device

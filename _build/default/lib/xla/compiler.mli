@@ -1,0 +1,47 @@
+(** JIT compilation of HLO graphs into executables, and their (simulated)
+    execution.
+
+    Compilation runs the optimization pipeline and fusion, and charges the
+    host a simulated compile time proportional to graph size — "invoking the
+    XLA JIT is computationally expensive" (§3.4), which is why the LazyTensor
+    runtime caches executables by trace fingerprint.
+
+    Execution has two modes:
+    - {!run}: computes real tensor values with the naive kernels while
+      advancing the simulated device clock kernel by kernel;
+    - {!simulate}: advances the clock only, for benchmarks that measure the
+      timing model on workloads too large to execute for real. *)
+
+type executable
+
+type compile_stats = {
+  input_nodes : int;
+  optimized_nodes : int;
+  clusters : int;
+  compile_seconds : float;  (** Simulated compile cost charged to the host. *)
+}
+
+(** [compile ?engine g] optimizes, fuses, and packages [g]. When [engine] is
+    given, the simulated compile time is charged to its host clock. *)
+val compile : ?engine:S4o_device.Engine.t -> Hlo.graph -> executable
+
+val stats : executable -> compile_stats
+
+(** Estimated device time of one execution (sum of fused-kernel times). *)
+val estimated_run_time : S4o_device.Device_spec.t -> executable -> float
+
+(** [run exe engine feeds] executes for real: [feeds.(i)] is parameter [i].
+    Kernels are dispatched asynchronously to [engine]; the caller decides
+    when to {!S4o_device.Engine.sync}. *)
+val run :
+  executable -> S4o_device.Engine.t -> S4o_tensor.Dense.t array -> S4o_tensor.Dense.t array
+
+(** Advance the engine's device clock as if executing, without computing any
+    tensor values. *)
+val simulate : executable -> S4o_device.Engine.t -> unit
+
+(** [peak_memory ?donated exe] estimates peak device memory of one execution:
+    parameters are resident, intermediates are freed when their last
+    consumer finishes, and parameters listed in [donated] alias a
+    shape-matching output buffer (XLA's input–output buffer aliasing, §4.2). *)
+val peak_memory : ?donated:int list -> executable -> int

@@ -1,0 +1,168 @@
+(** An HLO-like graph intermediate representation — the target of LazyTensor
+    tracing (§3.3) and the input of the domain-specific compiler.
+
+    Nodes are immutable, hash-consed-by-construction DAG vertices. Each node
+    carries: the semantic operation name and attribute string (used for CSE
+    and for trace fingerprinting), the output shape, cost metadata
+    ({!S4o_device.Op_info.t}), and a kernel closure giving the operation's
+    semantics on {!S4o_tensor.Dense} values. Parameters are fed at execution
+    time; literals are embedded constants. *)
+
+open S4o_tensor
+
+type node = {
+  id : int;
+  op_name : string;
+  attrs : string;  (** Semantics-affecting parameters, e.g. stride/padding. *)
+  shape : Shape.t;
+  info : S4o_device.Op_info.t;
+  inputs : node list;
+  kernel : Dense.t array -> Dense.t;
+  role : role;
+}
+
+and role =
+  | Compute
+  | Param of int  (** Fed at execution; the int is the parameter position. *)
+  | Literal of Dense.t
+
+let counter = ref 0
+
+let next_id () =
+  incr counter;
+  !counter
+
+let param ~index ~shape =
+  {
+    id = next_id ();
+    op_name = "parameter";
+    attrs = string_of_int index;
+    shape;
+    info =
+      {
+        S4o_device.Op_info.name = "parameter";
+        kind = S4o_device.Op_info.Data_movement;
+        flops = 0;
+        bytes_in = 0;
+        bytes_out = 0;
+      };
+    inputs = [];
+    kernel = (fun _ -> invalid_arg "parameter node has no kernel");
+    role = Param index;
+  }
+
+let literal value =
+  {
+    id = next_id ();
+    op_name = "constant";
+    attrs = "";
+    shape = Dense.shape value;
+    info =
+      {
+        S4o_device.Op_info.name = "constant";
+        kind = S4o_device.Op_info.Data_movement;
+        flops = 0;
+        bytes_in = 0;
+        bytes_out = S4o_device.Op_info.bytes_of_shape (Dense.shape value);
+      };
+    inputs = [];
+    kernel = (fun _ -> value);
+    role = Literal value;
+  }
+
+let op ~name ?(attrs = "") ~shape ~info ~inputs ~kernel () =
+  { id = next_id (); op_name = name; attrs; shape; info; inputs; kernel; role = Compute }
+
+(** {1 Graphs} *)
+
+type graph = { outputs : node list; nodes : node list  (** topological order *) }
+
+(** Topologically sort all nodes reachable from the outputs. *)
+let graph_of_outputs outputs =
+  let visited = Hashtbl.create 64 in
+  let order = ref [] in
+  let rec visit n =
+    if not (Hashtbl.mem visited n.id) then begin
+      Hashtbl.add visited n.id ();
+      List.iter visit n.inputs;
+      order := n :: !order
+    end
+  in
+  List.iter visit outputs;
+  { outputs; nodes = List.rev !order }
+
+let size g = List.length g.nodes
+
+let params g =
+  List.filter_map
+    (fun n -> match n.role with Param i -> Some (i, n) | Compute | Literal _ -> None)
+    g.nodes
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map snd
+
+(** Structural fingerprint: identical traces (same ops, attributes, shapes,
+    topology) produce the same fingerprint regardless of node identity —
+    the key of the XLA-program cache (§3.4). *)
+let fingerprint g =
+  let renumber = Hashtbl.create 64 in
+  List.iteri (fun i n -> Hashtbl.add renumber n.id i) g.nodes;
+  let h = ref 0 in
+  let mix v = h := (!h * 1000003) lxor v in
+  List.iter
+    (fun n ->
+      mix (Hashtbl.hash n.op_name);
+      mix (Hashtbl.hash n.attrs);
+      mix (Shape.hash n.shape);
+      (match n.role with
+      | Param i -> mix (i + 17)
+      | Literal v -> mix (Hashtbl.hash (Dense.to_array v))
+      | Compute -> mix 3);
+      List.iter (fun i -> mix (Hashtbl.find renumber i.id)) n.inputs)
+    g.nodes;
+  mix (List.length g.outputs);
+  List.iter (fun o -> mix (Hashtbl.find renumber o.id)) g.outputs;
+  !h
+
+(** {1 Rendering (Figure 4)} *)
+
+let pp_node ppf n =
+  let ins = String.concat ", " (List.map (fun i -> Format.sprintf "%%%d" i.id) n.inputs) in
+  let attrs = if n.attrs = "" then "" else Format.sprintf " {%s}" n.attrs in
+  Format.fprintf ppf "%%%d = %s%s(%s) : %s" n.id n.op_name attrs ins
+    (Shape.to_string n.shape)
+
+let pp_graph ppf g =
+  Format.fprintf ppf "HLO graph (%d nodes):@." (size g);
+  List.iter (fun n -> Format.fprintf ppf "  %a@." pp_node n) g.nodes;
+  Format.fprintf ppf "  outputs: %s"
+    (String.concat ", " (List.map (fun o -> Format.sprintf "%%%d" o.id) g.outputs))
+
+let to_string g = Format.asprintf "%a" pp_graph g
+
+(** GraphViz rendering of the trace DAG, as in Figure 4. *)
+let to_dot ?(name = "trace") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Format.sprintf "digraph %s {\n  rankdir=TB;\n" name);
+  List.iter
+    (fun n ->
+      let color =
+        match n.role with
+        | Param _ -> "lightblue"
+        | Literal _ -> "lightgray"
+        | Compute -> (
+            match n.info.S4o_device.Op_info.kind with
+            | S4o_device.Op_info.Contraction -> "lightsalmon"
+            | _ -> "white")
+      in
+      Buffer.add_string buf
+        (Format.sprintf
+           "  n%d [label=\"%s\\n%s\", style=filled, fillcolor=%s];\n" n.id
+           n.op_name
+           (Shape.to_string n.shape)
+           color);
+      List.iter
+        (fun i -> Buffer.add_string buf (Format.sprintf "  n%d -> n%d;\n" i.id n.id))
+        n.inputs)
+    g.nodes;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,68 @@
+(** An HLO-like graph intermediate representation — the target of LazyTensor
+    tracing (§3.3) and the input of the domain-specific compiler.
+
+    Nodes are immutable DAG vertices carrying the semantic operation name and
+    attribute string (used for CSE and trace fingerprinting), the output
+    shape, cost metadata, and a kernel closure giving the operation's
+    semantics on {!S4o_tensor.Dense} values. Parameters are fed at execution
+    time; literals are embedded constants. The record is exposed because the
+    optimizer, fuser, and executor pattern-match on it throughout. *)
+
+open S4o_tensor
+
+type node = {
+  id : int;  (** Globally unique; not part of the structural fingerprint. *)
+  op_name : string;
+  attrs : string;  (** Semantics-affecting parameters, e.g. stride/padding. *)
+  shape : Shape.t;
+  info : S4o_device.Op_info.t;
+  inputs : node list;
+  kernel : Dense.t array -> Dense.t;
+  role : role;
+}
+
+and role =
+  | Compute
+  | Param of int  (** Fed at execution; the int is the parameter position. *)
+  | Literal of Dense.t
+
+val param : index:int -> shape:Shape.t -> node
+val literal : Dense.t -> node
+
+val op :
+  name:string ->
+  ?attrs:string ->
+  shape:Shape.t ->
+  info:S4o_device.Op_info.t ->
+  inputs:node list ->
+  kernel:(Dense.t array -> Dense.t) ->
+  unit ->
+  node
+
+(** {1 Graphs} *)
+
+type graph = { outputs : node list; nodes : node list  (** topological order *) }
+
+(** Topologically sort all nodes reachable from the outputs (this is also the
+    dead-code elimination primitive). *)
+val graph_of_outputs : node list -> graph
+
+val size : graph -> int
+
+(** Parameter nodes, sorted by parameter position. *)
+val params : graph -> node list
+
+(** Structural fingerprint: identical traces (same ops, attributes, shapes,
+    topology, literal contents) fingerprint equal regardless of node
+    identity — the key of the XLA-program cache (§3.4). Parameter {e values}
+    do not participate, so the cache hits across training steps. *)
+val fingerprint : graph -> int
+
+(** {1 Rendering (Figure 4)} *)
+
+val pp_node : Format.formatter -> node -> unit
+val pp_graph : Format.formatter -> graph -> unit
+val to_string : graph -> string
+
+(** GraphViz rendering of the trace DAG, as in Figure 4. *)
+val to_dot : ?name:string -> graph -> string

@@ -1,0 +1,195 @@
+open S4o_tensor
+
+(* Rewrite a graph bottom-up: [rewrite n inputs'] sees the node with its
+   already-rewritten operands and returns the replacement. *)
+let map_graph (g : Hlo.graph) (rewrite : Hlo.node -> Hlo.node list -> Hlo.node) =
+  let subst : (int, Hlo.node) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (n : Hlo.node) ->
+      let inputs' = List.map (fun (i : Hlo.node) -> Hashtbl.find subst i.id) n.inputs in
+      let n' =
+        if List.for_all2 (fun (a : Hlo.node) b -> a.id = b.Hlo.id) n.inputs inputs'
+        then rewrite n n.inputs
+        else rewrite { n with inputs = inputs' } inputs'
+      in
+      Hashtbl.add subst n.id n')
+    g.nodes;
+  Hlo.graph_of_outputs
+    (List.map (fun (o : Hlo.node) -> Hashtbl.find subst o.id) g.outputs)
+
+let literal_value (n : Hlo.node) =
+  match n.role with Literal v -> Some v | Compute | Param _ -> None
+
+let cse g =
+  let seen : (string, Hlo.node) Hashtbl.t = Hashtbl.create 64 in
+  map_graph g (fun n inputs ->
+      let key =
+        Format.asprintf "%s|%s|%a|%s" n.op_name n.attrs Shape.pp n.shape
+          (String.concat ","
+             (List.map (fun (i : Hlo.node) -> string_of_int i.id) inputs))
+      in
+      match n.role with
+      | Param _ -> n
+      | Literal v -> begin
+          (* Literals participate keyed by contents. *)
+          let key = key ^ "#" ^ string_of_int (Hashtbl.hash (Dense.to_array v)) in
+          match Hashtbl.find_opt seen key with
+          | Some prior
+            when Option.fold ~none:false
+                   ~some:(fun pv -> Dense.equal pv v)
+                   (literal_value prior) ->
+              prior
+          | Some _ | None ->
+              Hashtbl.replace seen key n;
+              n
+        end
+      | Compute -> begin
+          match Hashtbl.find_opt seen key with
+          | Some prior -> prior
+          | None ->
+              Hashtbl.add seen key n;
+              n
+        end)
+
+let constant_fold g =
+  map_graph g (fun n inputs ->
+      match n.role with
+      | Param _ | Literal _ -> n
+      | Compute ->
+          let values = List.map literal_value inputs in
+          if inputs <> [] && List.for_all Option.is_some values then
+            Hlo.literal (n.kernel (Array.of_list (List.map Option.get values)))
+          else n)
+
+let dead_code_elim g = Hlo.graph_of_outputs g.Hlo.outputs
+
+type cluster = { members : Hlo.node list; info : S4o_device.Op_info.t }
+
+let fusible (n : Hlo.node) =
+  match (n.role, n.info.S4o_device.Op_info.kind) with
+  | (Param _ | Literal _), _ -> false
+  | Compute, (S4o_device.Op_info.Elementwise | Reduction | Data_movement) -> true
+  | Compute, (S4o_device.Op_info.Contraction | Fused _) -> false
+
+let is_compute (n : Hlo.node) =
+  match n.role with Compute -> true | Param _ | Literal _ -> false
+
+let fuse (g : Hlo.graph) =
+  (* cluster id per node id; clusters accumulate members in reverse topo *)
+  let cluster_of : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let members : (int, Hlo.node list) Hashtbl.t = Hashtbl.create 64 in
+  let fresh = ref 0 in
+  let new_cluster n =
+    let c = !fresh in
+    incr fresh;
+    Hashtbl.add cluster_of n.Hlo.id c;
+    Hashtbl.add members c [ n ]
+  in
+  let join n c =
+    Hashtbl.add cluster_of n.Hlo.id c;
+    Hashtbl.replace members c (n :: Hashtbl.find members c)
+  in
+  List.iter
+    (fun (n : Hlo.node) ->
+      if is_compute n then
+        if fusible n then begin
+          (* Join the newest (largest-id) operand cluster. Cluster ids are
+             assigned in topological order and a node always lands in a
+             cluster with id >= all of its operands' clusters, so every
+             cross-cluster edge points from a lower id to a higher id: the
+             cluster DAG is acyclic by construction and creation order is a
+             valid schedule. This fuses conv → bn (its whole diamond) → relu
+             → residual-add chains into single kernels, as XLA's loop fusion
+             does. *)
+          let operand_clusters =
+            List.filter_map
+              (fun (i : Hlo.node) ->
+                if is_compute i then Some (Hashtbl.find cluster_of i.id) else None)
+              n.inputs
+          in
+          match List.fold_left (fun acc c -> max acc c) (-1) operand_clusters with
+          | -1 -> new_cluster n
+          | c -> join n c
+        end
+        else new_cluster n)
+    g.nodes;
+  (* Build per-cluster cost info, charging only external memory traffic. *)
+  let in_same_cluster a b =
+    match (Hashtbl.find_opt cluster_of a, Hashtbl.find_opt cluster_of b) with
+    | Some ca, Some cb -> ca = cb
+    | _, _ -> false
+  in
+  let consumers : (int, Hlo.node list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (n : Hlo.node) ->
+      List.iter
+        (fun (i : Hlo.node) ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt consumers i.id) in
+          Hashtbl.replace consumers i.id (n :: prev))
+        n.inputs)
+    g.nodes;
+  let output_ids = List.map (fun (o : Hlo.node) -> o.id) g.outputs in
+  let cluster_list =
+    List.init !fresh (fun c -> List.rev (Hashtbl.find members c))
+  in
+  List.map
+    (fun ms ->
+      let member_ids = List.map (fun (m : Hlo.node) -> m.Hlo.id) ms in
+      let external_in =
+        (* distinct operands produced outside the cluster *)
+        let seen = Hashtbl.create 8 in
+        List.fold_left
+          (fun acc (m : Hlo.node) ->
+            List.fold_left
+              (fun acc (i : Hlo.node) ->
+                if (not (List.mem i.id member_ids)) && not (Hashtbl.mem seen i.id)
+                then begin
+                  Hashtbl.add seen i.id ();
+                  acc + S4o_device.Op_info.bytes_of_shape i.shape
+                end
+                else acc)
+              acc m.inputs)
+          0 ms
+      in
+      let external_out =
+        List.fold_left
+          (fun acc (m : Hlo.node) ->
+            let escapes =
+              List.mem m.id output_ids
+              || List.exists
+                   (fun (c : Hlo.node) -> not (in_same_cluster m.id c.id))
+                   (Option.value ~default:[] (Hashtbl.find_opt consumers m.id))
+            in
+            if escapes then acc + S4o_device.Op_info.bytes_of_shape m.shape
+            else acc)
+          0 ms
+      in
+      let info =
+        match ms with
+        | [ single ] -> single.Hlo.info
+        | _ ->
+            S4o_device.Op_info.fused
+              ~members:(List.map (fun (m : Hlo.node) -> m.Hlo.info) ms)
+              ~external_in_bytes:external_in ~external_out_bytes:external_out
+      in
+      { members = ms; info })
+    cluster_list
+
+let optimize g =
+  let stats = ref [] in
+  let record name before after =
+    stats := (name, before - after) :: !stats
+  in
+  let rec go g budget =
+    let n0 = Hlo.size g in
+    let g = cse g in
+    let n1 = Hlo.size g in
+    record "cse" n0 n1;
+    let g = constant_fold g in
+    let g = dead_code_elim g in
+    let n2 = Hlo.size g in
+    record "fold+dce" n1 n2;
+    if n2 < n0 && budget > 0 then go g (budget - 1) else g
+  in
+  let g' = go g 4 in
+  (g', List.rev !stats)

@@ -1,0 +1,32 @@
+(** Optimization passes of the domain-specific compiler: common-subexpression
+    elimination, constant folding, dead-code elimination, and the pass the
+    paper leans on for §3.3's performance claims — operation fusion.
+
+    All passes are graph → graph; nodes are immutable so rewrites substitute
+    bottom-up. *)
+
+(** Merge structurally identical nodes (same op, attributes, operands). *)
+val cse : Hlo.graph -> Hlo.graph
+
+(** Evaluate compute nodes whose operands are all literals. *)
+val constant_fold : Hlo.graph -> Hlo.graph
+
+(** Drop nodes unreachable from the outputs. *)
+val dead_code_elim : Hlo.graph -> Hlo.graph
+
+(** One fusion cluster. [root_first] lists members in topological order. *)
+type cluster = { members : Hlo.node list; info : S4o_device.Op_info.t }
+
+(** Greedy producer-consumer fusion: elementwise, data-movement and reduction
+    nodes merge into the cluster of one of their compute operands, so chains
+    like [conv → bias-add → relu] become one kernel. Contractions root their
+    own clusters; parameters and literals stay outside. The returned clusters
+    partition the compute nodes in topological order, and each cluster's
+    {!S4o_device.Op_info.t} charges only the cluster's {e external} memory
+    traffic — the fusion saving. *)
+val fuse : Hlo.graph -> cluster list
+
+(** [optimize g] runs cse → constant folding → dce, in that order, to a
+    bounded fixed point, and returns the optimized graph plus pass
+    statistics. *)
+val optimize : Hlo.graph -> Hlo.graph * (string * int) list

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Dense Float List QCheck S4o_core S4o_tensor Test_util

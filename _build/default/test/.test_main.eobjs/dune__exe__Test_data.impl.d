@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Dense List Prng S4o_data S4o_tensor Test_util

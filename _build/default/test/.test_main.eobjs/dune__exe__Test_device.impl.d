@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest S4o_device Test_util

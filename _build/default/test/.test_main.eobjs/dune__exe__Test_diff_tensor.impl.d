@@ -1,0 +1,1 @@
+test/test_diff_tensor.ml: Alcotest Backend_intf Convolution Dense Naive_backend Prng QCheck S4o_device S4o_diff_tensor S4o_eager S4o_lazy S4o_tensor Test_util

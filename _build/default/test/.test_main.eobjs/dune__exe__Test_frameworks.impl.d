@@ -1,0 +1,1 @@
+test/test_frameworks.ml: Alcotest Float List S4o_device S4o_frameworks S4o_ops S4o_tensor S4o_xla Test_util

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Backend_intf Dense List Naive_backend Prng S4o_core S4o_data S4o_device S4o_eager S4o_lazy S4o_mobile S4o_nn S4o_sil S4o_tensor Test_util

@@ -1,0 +1,1 @@
+test/test_mobile.ml: Alcotest Float List Prng S4o_mobile S4o_spline S4o_tensor Test_util

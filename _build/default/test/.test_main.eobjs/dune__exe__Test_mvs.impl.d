@@ -1,0 +1,1 @@
+test/test_mvs.ml: Alcotest Array Dense Float Gen List Prng QCheck S4o_mvs S4o_tensor Test_util

@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Convolution Dense Filename Float Fun List Naive_backend Prng S4o_data S4o_nn S4o_tensor Sys Test_util

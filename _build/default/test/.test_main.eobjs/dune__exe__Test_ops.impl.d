@@ -1,0 +1,1 @@
+test/test_ops.ml: Alcotest Convolution Dense List Prng QCheck S4o_device S4o_ops S4o_tensor Shape Test_util

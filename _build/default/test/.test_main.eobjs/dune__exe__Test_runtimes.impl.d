@@ -1,0 +1,1 @@
+test/test_runtimes.ml: Alcotest Backend_intf Dense List Naive_backend Prng QCheck S4o_device S4o_eager S4o_lazy S4o_tensor S4o_xla Test_util

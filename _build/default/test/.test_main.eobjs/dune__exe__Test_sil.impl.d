@@ -1,0 +1,1 @@
+test/test_sil.ml: Activity Alcotest Array Builder Codegen Diagnostics Float Interp Ir List Parser Passes QCheck S4o_sil String Test_util Transform

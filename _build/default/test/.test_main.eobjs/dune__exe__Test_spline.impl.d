@@ -1,0 +1,1 @@
+test/test_spline.ml: Alcotest Array Float List Prng S4o_core S4o_spline S4o_tensor Test_util

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Convolution Dense Float Fun Gen List Prng QCheck S4o_tensor Shape Test_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array QCheck QCheck_alcotest S4o_tensor

@@ -1,0 +1,1 @@
+test/test_xla.ml: Alcotest Array Convolution Dense Hashtbl List Prng QCheck S4o_device S4o_ops S4o_tensor S4o_xla String Test_util

@@ -1,0 +1,347 @@
+(** Tests for the differentiable-programming core (§2): forward mode, reverse
+    mode, higher-order nesting, the (f, JVP, VJP) bundles of Figure 3, and
+    the Differentiable conformances of Figure 1. *)
+
+module F = S4o_core.Forward
+module R = S4o_core.Reverse
+module H = S4o_core.Higher_order
+module Dfn = S4o_core.Diff_fn
+module Diff = S4o_core.Differentiable
+
+(* {1 Forward mode} *)
+
+let test_forward_primitives () =
+  let check name f df x =
+    Test_util.check_close name (df x) (F.derivative f x)
+  in
+  check "sin" F.sin Float.cos 0.7;
+  check "cos" F.cos (fun x -> -.Float.sin x) 0.7;
+  check "exp" F.exp Float.exp 0.4;
+  check "log" F.log (fun x -> 1.0 /. x) 2.5;
+  check "sqrt" F.sqrt (fun x -> 0.5 /. Float.sqrt x) 4.0;
+  check "sigmoid" F.sigmoid
+    (fun x ->
+      let s = 1.0 /. (1.0 +. Float.exp (-.x)) in
+      s *. (1.0 -. s))
+    0.3;
+  check "tanh" F.tanh (fun x -> 1.0 -. (Float.tanh x ** 2.0)) 0.3;
+  check "relu positive" F.relu (fun _ -> 1.0) 2.0;
+  check "relu negative" F.relu (fun _ -> 0.0) (-2.0);
+  check "pow" (fun x -> F.pow x 3.0) (fun x -> 3.0 *. (x ** 2.0)) 1.7
+
+let test_forward_product_rule () =
+  let f x = F.mul x (F.sin x) in
+  Test_util.check_close "d(x sin x)" (Float.sin 1.2 +. (1.2 *. Float.cos 1.2))
+    (F.derivative f 1.2)
+
+let test_forward_quotient_rule () =
+  let f x = F.div (F.sin x) x in
+  let x = 0.9 in
+  Test_util.check_close "d(sin x / x)"
+    (((x *. Float.cos x) -. Float.sin x) /. (x *. x))
+    (F.derivative f x)
+
+let test_forward_grad () =
+  (* f(x, y) = x^2 y + y *)
+  let f xs = F.add (F.mul (F.mul xs.(0) xs.(0)) xs.(1)) xs.(1) in
+  let g = F.grad f [| 2.0; 3.0 |] in
+  Test_util.check_close "df/dx = 2xy" 12.0 g.(0);
+  Test_util.check_close "df/dy = x^2+1" 5.0 g.(1)
+
+let test_forward_jvp () =
+  (* f(x, y) = (x + y, x * y); J v with v = (1, 2) *)
+  let f xs = [| F.add xs.(0) xs.(1); F.mul xs.(0) xs.(1) |] in
+  let out = F.jvp f [| 3.0; 4.0 |] [| 1.0; 2.0 |] in
+  Test_util.check_close "d(x+y)" 3.0 out.(0);
+  Test_util.check_close "d(xy) = y*1 + x*2" 10.0 out.(1)
+
+let test_forward_infix () =
+  let open F.Infix in
+  let f x = (x * x) + x - F.const 1.0 in
+  Test_util.check_close "2x + 1" 7.0 (F.derivative f 3.0)
+
+let test_forward_custom () =
+  let cube = F.custom ~f:(fun x -> x ** 3.0) ~df:(fun x -> 5.0 *. (x ** 2.0)) in
+  (* deliberately wrong derivative (5x^2) proves the custom rule is used *)
+  Test_util.check_close "custom derivative used" 20.0 (F.derivative cube 2.0)
+
+(* {1 Reverse mode} *)
+
+let test_reverse_matches_forward () =
+  let expr_f x = F.mul (F.sin (F.mul x x)) (F.exp (F.neg x)) in
+  let expr_r x = R.mul (R.sin (R.mul x x)) (R.exp (R.neg x)) in
+  List.iter
+    (fun x ->
+      Test_util.check_close "forward = reverse" (F.derivative expr_f x)
+        (snd (R.grad1 expr_r x)))
+    [ -1.5; -0.3; 0.2; 0.8; 2.1 ]
+
+let test_reverse_grad_matches_finite_diff () =
+  (* Rosenbrock *)
+  let rosen xs =
+    let open R.Infix in
+    let one = R.const 1.0 in
+    let a = one - xs.(0) in
+    let b = xs.(1) - (xs.(0) * xs.(0)) in
+    (a * a) + R.scale 100.0 (b * b)
+  in
+  let at = [| -0.7; 1.3 |] in
+  let _, g = R.grad rosen at in
+  let fd =
+    Test_util.finite_diff_grad (fun x -> fst (R.grad rosen x)) at
+  in
+  Test_util.check_close ~eps:1e-3 "d/dx" fd.(0) g.(0);
+  Test_util.check_close ~eps:1e-3 "d/dy" fd.(1) g.(1)
+
+let test_reverse_fan_out () =
+  (* x used twice: adjoints must accumulate *)
+  let f x = R.add (R.mul x x) (R.scale 3.0 x) in
+  Test_util.check_close "2x + 3" 7.0 (snd (R.grad1 f 2.0))
+
+let test_reverse_constants_have_no_gradient () =
+  let f x = R.mul x (R.const 5.0) in
+  Test_util.check_close "d(5x)" 5.0 (snd (R.grad1 f 3.0))
+
+let test_reverse_vjp_multi_output () =
+  (* f(x, y) = (xy, x + y); pullback of seed (a, b) = (ay + b, ax + b) *)
+  let f xs = [| R.mul xs.(0) xs.(1); R.add xs.(0) xs.(1) |] in
+  let values, pullback = R.vjp f [| 2.0; 3.0 |] in
+  Test_util.check_float_array "primal" [| 6.0; 5.0 |] values;
+  let g = pullback [| 1.0; 0.0 |] in
+  Test_util.check_float_array "pullback e1" [| 3.0; 2.0 |] g;
+  let g2 = pullback [| 0.0; 1.0 |] in
+  Test_util.check_float_array "pullback e2 (reused)" [| 1.0; 1.0 |] g2
+
+let test_reverse_mixing_tapes_rejected () =
+  let half_done = ref None in
+  let _ = R.grad1 (fun x -> (match !half_done with None -> half_done := Some x | Some _ -> ()); x) 1.0 in
+  Test_util.check_raises_any "cross-tape op rejected" (fun () ->
+      R.grad1
+        (fun y ->
+          match !half_done with Some x -> R.add x y | None -> y)
+        2.0)
+
+let test_reverse_custom_binary () =
+  let atan2' =
+    R.custom_binary ~f:Float.atan2
+      ~dfa:(fun y x -> x /. ((x *. x) +. (y *. y)))
+      ~dfb:(fun y x -> -.y /. ((x *. x) +. (y *. y)))
+  in
+  let _, (dy, dx) = R.grad2 atan2' 1.0 2.0 in
+  Test_util.check_close "datan2/dy" (2.0 /. 5.0) dy;
+  Test_util.check_close "datan2/dx" (-1.0 /. 5.0) dx
+
+let test_reverse_tape_length_linear () =
+  (* efficient-gradient: tape length is linear in expression size *)
+  let chain n x0 =
+    let _ =
+      R.grad1
+        (fun x ->
+          let acc = ref x in
+          for _ = 1 to n do
+            acc := R.sin !acc
+          done;
+          !acc)
+        x0
+    in
+    R.last_tape_length ()
+  in
+  let l10 = chain 10 0.3 and l100 = chain 100 0.3 in
+  Test_util.check_int "tape grows by exactly 90" (l10 + 90) l100
+
+let test_reverse_max_min_subgradient () =
+  let f x = R.max x (R.const 2.0) in
+  Test_util.check_close "max active branch" 1.0 (snd (R.grad1 f 3.0));
+  Test_util.check_close "max inactive branch" 0.0 (snd (R.grad1 f 1.0));
+  let g x = R.min x (R.const 2.0) in
+  Test_util.check_close "min active" 1.0 (snd (R.grad1 g 1.0))
+
+let qcheck_reverse_matches_fd =
+  Test_util.qtest ~count:150 "reverse gradient matches finite differences"
+    QCheck.(pair (float_range 0.2 2.0) (float_range 0.2 2.0))
+    (fun (x, y) ->
+      let f xs =
+        R.add
+          (R.mul (R.sin xs.(0)) (R.exp xs.(1)))
+          (R.div xs.(0) (R.add_const 0.5 (R.mul xs.(1) xs.(1))))
+      in
+      let _, g = R.grad f [| x; y |] in
+      let fd = Test_util.finite_diff_grad (fun v -> fst (R.grad f v)) [| x; y |] in
+      Float.abs (g.(0) -. fd.(0)) < 1e-4 *. Float.max 1.0 (Float.abs fd.(0))
+      && Float.abs (g.(1) -. fd.(1)) < 1e-4 *. Float.max 1.0 (Float.abs fd.(1)))
+
+(* {1 Higher order} *)
+
+let test_higher_order_polynomial () =
+  (* f(x) = x^4 *)
+  let f = { H.apply = (fun ops x -> ops.H.mul x (ops.H.mul x (ops.H.mul x x))) } in
+  Test_util.check_close "f" 16.0 (H.nth_derivative 0 f 2.0);
+  Test_util.check_close "f'" 32.0 (H.nth_derivative 1 f 2.0);
+  Test_util.check_close "f''" 48.0 (H.nth_derivative 2 f 2.0);
+  Test_util.check_close "f'''" 48.0 (H.nth_derivative 3 f 2.0);
+  Test_util.check_close "f''''" 24.0 (H.nth_derivative 4 f 2.0);
+  Test_util.check_close "f'''''" 0.0 (H.nth_derivative 5 f 2.0)
+
+let test_higher_order_sin () =
+  let f = { H.apply = (fun ops x -> ops.H.sin x) } in
+  (* d^4 sin = sin *)
+  Test_util.check_close "4th derivative of sin" (Float.sin 0.9)
+    (H.nth_derivative 4 f 0.9)
+
+let test_higher_order_matches_forward () =
+  let hf = { H.apply = (fun ops x -> ops.H.exp (ops.H.mul x x)) } in
+  let ff x = F.exp (F.mul x x) in
+  Test_util.check_close "order-1 agrees with Forward" (F.derivative ff 0.6)
+    (H.nth_derivative 1 hf 0.6)
+
+(* {1 Differentiable conformances (Figure 1)} *)
+
+let test_differentiable_float () =
+  Test_util.check_float "move" 3.5 (Diff.Float_diff.move 3.0 ~along:0.5);
+  Test_util.check_float "tangent add" 3.0 (Diff.Float_diff.Tangent.add 1.0 2.0)
+
+let test_differentiable_pair () =
+  let module P = Diff.Pair (Diff.Float_diff) (Diff.Float_diff) in
+  let moved = P.move (1.0, 2.0) ~along:(0.1, 0.2) in
+  Test_util.check_float "fst" 1.1 (fst moved);
+  Test_util.check_float "snd" 2.2 (snd moved);
+  Test_util.check_true "zero" (P.Tangent.zero = (0.0, 0.0))
+
+let test_differentiable_array () =
+  let module A = Diff.Array_of (Diff.Float_diff) in
+  let moved = A.move [| 1.0; 2.0 |] ~along:[| 10.0; 20.0 |] in
+  Test_util.check_float_array "move elementwise" [| 11.0; 22.0 |] moved;
+  (* zero (empty) tangent acts as identity at any length *)
+  Test_util.check_float_array "zero tangent" [| 1.0; 2.0 |]
+    (A.move [| 1.0; 2.0 |] ~along:A.Tangent.zero);
+  Test_util.check_float_array "zero + t = t" [| 5.0 |]
+    (A.Tangent.add A.Tangent.zero [| 5.0 |])
+
+let test_differentiable_tensor () =
+  let open S4o_tensor in
+  let x = Dense.of_array [| 2 |] [| 1.0; 2.0 |] in
+  let d = Dense.of_array [| 2 |] [| 0.5; 0.5 |] in
+  Test_util.check_tensor "tensor move"
+    (Dense.of_array [| 2 |] [| 1.5; 2.5 |])
+    (Diff.Tensor_diff.move x ~along:d);
+  (* the scalar-0 zero broadcasts against any shape *)
+  Test_util.check_tensor "tensor zero" x
+    (Diff.Tensor_diff.move x ~along:Diff.Tensor_diff.Tangent.zero)
+
+let test_witness_of () =
+  let module W = Diff.Witness_of (Diff.Float_diff) in
+  Test_util.check_float "witness move" 4.0 (W.witness.Diff.move 3.0 1.0)
+
+(* {1 Differentiable function values (Figures 2-3)} *)
+
+let test_diff_fn_scalar_bundle () =
+  let square =
+    Dfn.promote_scalar (fun x -> F.mul x x) (fun x -> R.mul x x)
+  in
+  Test_util.check_close "apply" 9.0 (Dfn.apply square 3.0);
+  Test_util.check_close "gradient" 6.0 (Dfn.gradient ~at:3.0 square);
+  let v, g = Dfn.value_with_gradient ~at:3.0 square in
+  Test_util.check_close "vwg value" 9.0 v;
+  Test_util.check_close "vwg grad" 6.0 g;
+  Test_util.check_close "jvp" 12.0 (Dfn.derivative ~at:3.0 ~along:2.0 square)
+
+let test_diff_fn_compose_chain_rule () =
+  let square = Dfn.promote_scalar (fun x -> F.mul x x) (fun x -> R.mul x x) in
+  let sin_b = Dfn.promote_scalar F.sin R.sin in
+  let sin_of_square = Dfn.compose sin_b square in
+  (* d/dx sin(x^2) = 2x cos(x^2) *)
+  Test_util.check_close "chain rule vjp" (2.0 *. 1.5 *. Float.cos 2.25)
+    (Dfn.gradient ~at:1.5 sin_of_square);
+  Test_util.check_close "chain rule jvp" (2.0 *. 1.5 *. Float.cos 2.25)
+    (Dfn.derivative ~at:1.5 ~along:1.0 sin_of_square)
+
+let test_diff_fn_pair () =
+  let square = Dfn.promote_scalar (fun x -> F.mul x x) (fun x -> R.mul x x) in
+  let expb = Dfn.promote_scalar F.exp R.exp in
+  let both = Dfn.pair square expb in
+  let (v1, v2), pb = both.Dfn.vjp (2.0, 0.0) in
+  Test_util.check_close "pair fst" 4.0 v1;
+  Test_util.check_close "pair snd" 1.0 v2;
+  let g1, g2 = pb (1.0, 1.0) in
+  Test_util.check_close "pair pullback fst" 4.0 g1;
+  Test_util.check_close "pair pullback snd" 1.0 g2
+
+let test_diff_fn_identity () =
+  Test_util.check_close "identity grad" 1.0 (Dfn.gradient ~at:5.0 Dfn.identity)
+
+let test_diff_fn_vector () =
+  let bundle =
+    Dfn.promote_vector (fun xs ->
+        R.add (R.mul xs.(0) xs.(1)) (R.sin xs.(0)))
+  in
+  let g = Dfn.gradient ~at:[| 2.0; 3.0 |] bundle in
+  Test_util.check_close "d/dx" (3.0 +. Float.cos 2.0) g.(0);
+  Test_util.check_close "d/dy" 2.0 g.(1);
+  (* jvp along e0 recovers g.(0) *)
+  Test_util.check_close "jvp consistency" g.(0)
+    (Dfn.derivative ~at:[| 2.0; 3.0 |] ~along:[| 1.0; 0.0 |] bundle)
+
+let test_diff_fn_multi () =
+  let bundle =
+    Dfn.promote_multi
+      (fun xs -> [| F.add xs.(0) xs.(1); F.mul xs.(0) xs.(1) |])
+      (fun xs -> [| R.add xs.(0) xs.(1); R.mul xs.(0) xs.(1) |])
+  in
+  let v, pb = bundle.Dfn.vjp [| 2.0; 3.0 |] in
+  Test_util.check_float_array "multi primal" [| 5.0; 6.0 |] v;
+  Test_util.check_float_array "multi pullback" [| 1.0 +. 3.0; 1.0 +. 2.0 |]
+    (pb [| 1.0; 1.0 |]);
+  let _, diff = bundle.Dfn.jvp [| 2.0; 3.0 |] in
+  Test_util.check_float_array "multi differential" [| 1.0; 3.0 |]
+    (diff [| 1.0; 0.0 |])
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "core.forward",
+      [
+        tc "primitive derivatives" `Quick test_forward_primitives;
+        tc "product rule" `Quick test_forward_product_rule;
+        tc "quotient rule" `Quick test_forward_quotient_rule;
+        tc "multivariate grad" `Quick test_forward_grad;
+        tc "jvp" `Quick test_forward_jvp;
+        tc "infix operators" `Quick test_forward_infix;
+        tc "custom derivative" `Quick test_forward_custom;
+      ] );
+    ( "core.reverse",
+      [
+        tc "matches forward mode" `Quick test_reverse_matches_forward;
+        tc "matches finite differences" `Quick test_reverse_grad_matches_finite_diff;
+        tc "fan-out accumulates" `Quick test_reverse_fan_out;
+        tc "constants ignored" `Quick test_reverse_constants_have_no_gradient;
+        tc "vjp with reusable pullback" `Quick test_reverse_vjp_multi_output;
+        tc "mixing tapes rejected" `Quick test_reverse_mixing_tapes_rejected;
+        tc "custom binary derivative" `Quick test_reverse_custom_binary;
+        tc "tape length linear" `Quick test_reverse_tape_length_linear;
+        tc "max/min subgradients" `Quick test_reverse_max_min_subgradient;
+        qcheck_reverse_matches_fd;
+      ] );
+    ( "core.higher_order",
+      [
+        tc "polynomial all orders" `Quick test_higher_order_polynomial;
+        tc "sin period 4" `Quick test_higher_order_sin;
+        tc "order 1 = forward mode" `Quick test_higher_order_matches_forward;
+      ] );
+    ( "core.differentiable",
+      [
+        tc "float conformance" `Quick test_differentiable_float;
+        tc "pair functor" `Quick test_differentiable_pair;
+        tc "array functor" `Quick test_differentiable_array;
+        tc "tensor conformance" `Quick test_differentiable_tensor;
+        tc "witness from module" `Quick test_witness_of;
+      ] );
+    ( "core.diff_fn",
+      [
+        tc "scalar bundle" `Quick test_diff_fn_scalar_bundle;
+        tc "compose = chain rule" `Quick test_diff_fn_compose_chain_rule;
+        tc "pair" `Quick test_diff_fn_pair;
+        tc "identity" `Quick test_diff_fn_identity;
+        tc "vector promote" `Quick test_diff_fn_vector;
+        tc "multi promote" `Quick test_diff_fn_multi;
+      ] );
+  ]

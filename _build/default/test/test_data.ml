@@ -1,0 +1,112 @@
+(** Tests for the synthetic dataset library. *)
+
+open S4o_tensor
+module Ds = S4o_data.Dataset
+
+let test_mnist_shapes () =
+  let d = Ds.synthetic_mnist (Prng.create 1) ~n:20 in
+  Test_util.check_true "image shape" (Dense.shape d.Ds.images = [| 20; 28; 28; 1 |]);
+  Test_util.check_int "labels" 20 (Array.length d.Ds.labels);
+  Test_util.check_int "classes" 10 d.Ds.classes;
+  Array.iter
+    (fun l -> Test_util.check_true "label range" (l >= 0 && l < 10))
+    d.Ds.labels
+
+let test_cifar_imagenet_shapes () =
+  let c = Ds.synthetic_cifar10 (Prng.create 2) ~n:4 in
+  Test_util.check_true "cifar" (Dense.shape c.Ds.images = [| 4; 32; 32; 3 |]);
+  let i = Ds.synthetic_imagenet (Prng.create 3) ~size:32 ~classes:5 ~n:2 in
+  Test_util.check_true "scaled imagenet" (Dense.shape i.Ds.images = [| 2; 32; 32; 3 |]);
+  Test_util.check_int "imagenet classes" 5 i.Ds.classes
+
+let test_deterministic () =
+  let a = Ds.synthetic_mnist (Prng.create 9) ~n:8 in
+  let b = Ds.synthetic_mnist (Prng.create 9) ~n:8 in
+  Test_util.check_true "identical datasets" (Dense.equal a.Ds.images b.Ds.images);
+  Test_util.check_true "identical labels" (a.Ds.labels = b.Ds.labels)
+
+let test_same_class_similar () =
+  (* two examples of the same class are much closer than different classes *)
+  let d = Ds.synthetic_mnist ~noise:0.1 (Prng.create 4) ~n:100 in
+  let image i =
+    Dense.init_flat [| 784 |] (fun off -> Dense.get_flat d.Ds.images ((i * 784) + off))
+  in
+  let dist a b =
+    let diff = Dense.sub (image a) (image b) in
+    Dense.sum (Dense.mul diff diff)
+  in
+  (* find same-class and cross-class pairs *)
+  let same = ref None and cross = ref None in
+  Array.iteri
+    (fun i li ->
+      Array.iteri
+        (fun j lj ->
+          if i < j then
+            if li = lj && !same = None then same := Some (i, j)
+            else if li <> lj && !cross = None then cross := Some (i, j))
+        d.Ds.labels)
+    d.Ds.labels;
+  match (!same, !cross) with
+  | Some (a, b), Some (c, e) ->
+      Test_util.check_true "same class closer" (dist a b < dist c e /. 2.0)
+  | _ -> Alcotest.fail "pairs not found"
+
+let test_batches () =
+  let d = Ds.synthetic_mnist (Prng.create 5) ~n:70 in
+  let bs = Ds.batches d ~batch_size:32 in
+  (* ragged tail dropped: 70 / 32 = 2 batches *)
+  Test_util.check_int "batch count" 2 (List.length bs);
+  let images, one_hot, labels = List.hd bs in
+  Test_util.check_true "batch images" (Dense.shape images = [| 32; 28; 28; 1 |]);
+  Test_util.check_true "one-hot shape" (Dense.shape one_hot = [| 32; 10 |]);
+  Array.iteri
+    (fun i l ->
+      Test_util.check_close "one-hot matches label" 1.0 (Dense.get one_hot [| i; l |]))
+    labels
+
+let test_shuffled_batches_preserve_labels () =
+  let d = Ds.synthetic_mnist (Prng.create 6) ~n:64 in
+  let plain = Ds.batches d ~batch_size:32 in
+  let shuffled = Ds.batches d ~batch_size:32 ~shuffle_rng:(Prng.create 7) in
+  let histogram bs =
+    let h = Array.make 10 0 in
+    List.iter (fun (_, _, ls) -> Array.iter (fun l -> h.(l) <- h.(l) + 1) ls) bs;
+    h
+  in
+  Test_util.check_true "label multiset preserved"
+    (histogram plain = histogram shuffled)
+
+let test_split () =
+  let d = Ds.synthetic_mnist (Prng.create 8) ~n:50 in
+  let train, test = Ds.split d ~train:40 in
+  Test_util.check_int "train size" 40 (Ds.n_examples train);
+  Test_util.check_int "test size" 10 (Ds.n_examples test);
+  (* split preserves alignment between images and labels *)
+  Test_util.check_int "test labels align" d.Ds.labels.(40) test.Ds.labels.(0);
+  Test_util.check_raises_any "bad split" (fun () -> Ds.split d ~train:50)
+
+let test_two_arcs () =
+  let d = Ds.two_arcs (Prng.create 10) ~n:20 in
+  Test_util.check_true "shape" (Dense.shape d.Ds.images = [| 20; 1; 1; 2 |]);
+  Test_util.check_int "binary" 2 d.Ds.classes
+
+let test_batches_invalid () =
+  let d = Ds.two_arcs (Prng.create 11) ~n:8 in
+  Test_util.check_raises_any "zero batch" (fun () -> Ds.batches d ~batch_size:0)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "data.datasets",
+      [
+        tc "mnist shapes" `Quick test_mnist_shapes;
+        tc "cifar and imagenet shapes" `Quick test_cifar_imagenet_shapes;
+        tc "deterministic" `Quick test_deterministic;
+        tc "class structure is learnable" `Quick test_same_class_similar;
+        tc "batching" `Quick test_batches;
+        tc "shuffle preserves labels" `Quick test_shuffled_batches_preserve_labels;
+        tc "split" `Quick test_split;
+        tc "two arcs" `Quick test_two_arcs;
+        tc "invalid batch size" `Quick test_batches_invalid;
+      ] );
+  ]

@@ -1,0 +1,186 @@
+(** Tests for the simulated-accelerator substrate: op cost metadata, the
+    roofline cost model, the asynchronous engine clocks (§3.2's pipeline),
+    and the data-parallel cluster model (Table 1's scaling machinery). *)
+
+module Op = S4o_device.Op_info
+module Spec = S4o_device.Device_spec
+module Engine = S4o_device.Engine
+module Cluster = S4o_device.Cluster
+
+(* {1 Op_info} *)
+
+let test_op_info_elementwise () =
+  let op = Op.elementwise "add" ~inputs:[ [| 4; 4 |]; [| 4; 4 |] ] ~output:[| 4; 4 |] () in
+  Test_util.check_int "flops = numel" 16 op.Op.flops;
+  Test_util.check_int "bytes in" (2 * 64) op.Op.bytes_in;
+  Test_util.check_int "bytes out" 64 op.Op.bytes_out
+
+let test_op_info_matmul () =
+  let op = Op.matmul ~m:2 ~k:3 ~n:4 in
+  Test_util.check_int "2mkn flops" 48 op.Op.flops;
+  Test_util.check_true "contraction kind" (op.Op.kind = Op.Contraction)
+
+let test_op_info_fused () =
+  let a = Op.elementwise "a" ~inputs:[ [| 8 |] ] ~output:[| 8 |] () in
+  let b = Op.elementwise "b" ~inputs:[ [| 8 |] ] ~output:[| 8 |] () in
+  let f = Op.fused ~members:[ a; b ] ~external_in_bytes:32 ~external_out_bytes:32 in
+  Test_util.check_int "fused flops sum" 16 f.Op.flops;
+  Test_util.check_int "fused external bytes only" 32 f.Op.bytes_in;
+  Test_util.check_true "fused kind" (f.Op.kind = Op.Fused 2)
+
+(* {1 Roofline} *)
+
+let tiny_spec =
+  {
+    Spec.name = "test";
+    sustained_flops = 100.0;
+    elementwise_flops = 10.0;
+    mem_bandwidth = 1000.0;
+    kernel_launch = 0.5;
+    memory_capacity = 1024;
+  }
+
+let test_roofline_compute_bound () =
+  (* contraction: 1000 flops / 100 = 10s; memory 100/1000 = 0.1s -> compute *)
+  let op =
+    { Op.name = "mm"; kind = Op.Contraction; flops = 1000; bytes_in = 50; bytes_out = 50 }
+  in
+  Test_util.check_close "compute bound + launch" 10.5 (Spec.kernel_time tiny_spec op)
+
+let test_roofline_memory_bound () =
+  (* elementwise: 1 flop, 10_000 bytes -> 10s memory *)
+  let op =
+    { Op.name = "add"; kind = Op.Elementwise; flops = 1; bytes_in = 5000; bytes_out = 5000 }
+  in
+  Test_util.check_close "memory bound + launch" 10.5 (Spec.kernel_time tiny_spec op)
+
+let test_roofline_elementwise_rate () =
+  (* elementwise uses the lower rate: 100 flops / 10 = 10s *)
+  let op =
+    { Op.name = "exp"; kind = Op.Elementwise; flops = 100; bytes_in = 1; bytes_out = 1 }
+  in
+  Test_util.check_close "elementwise rate" 10.5 (Spec.kernel_time tiny_spec op)
+
+(* {1 Engine: async pipeline} *)
+
+let cheap_op =
+  { Op.name = "k"; kind = Op.Contraction; flops = 100; bytes_in = 0; bytes_out = 0 }
+(* 1s on tiny_spec + 0.5 launch = 1.5s per kernel *)
+
+let test_engine_async_dispatch () =
+  let e = Engine.create tiny_spec in
+  (* host runs ahead: dispatch costs no host time by itself *)
+  ignore (Engine.dispatch e cheap_op);
+  ignore (Engine.dispatch e cheap_op);
+  Test_util.check_close "host still at 0" 0.0 (Engine.host_time e);
+  Test_util.check_close "device queue = 3s" 3.0 (Engine.device_ready_at e);
+  Test_util.check_close "pipeline depth" 3.0 (Engine.pipeline_depth e)
+
+let test_engine_sync_stalls_host () =
+  let e = Engine.create tiny_spec in
+  ignore (Engine.dispatch e cheap_op);
+  Engine.sync e;
+  Test_util.check_close "host advanced to device" 1.5 (Engine.host_time e);
+  Test_util.check_close "stall recorded" 1.5 (Engine.host_stall_time e);
+  Test_util.check_close "pipeline drained" 0.0 (Engine.pipeline_depth e)
+
+let test_engine_host_ahead_of_device () =
+  let e = Engine.create tiny_spec in
+  Engine.spend_host e 10.0;
+  (* kernel starts when the host issues it, not before *)
+  let done_at = Engine.dispatch e cheap_op in
+  Test_util.check_close "kernel starts at host time" 11.5 done_at;
+  Engine.sync e;
+  Test_util.check_close "no stall when host was slower" 11.5 (Engine.host_time e)
+
+let test_engine_stats () =
+  let e = Engine.create tiny_spec in
+  ignore (Engine.dispatch e cheap_op);
+  ignore (Engine.dispatch e cheap_op);
+  Test_util.check_int "kernel count" 2 (Engine.kernels_launched e);
+  Test_util.check_close "busy time" 3.0 (Engine.device_busy_time e);
+  Engine.reset e;
+  Test_util.check_int "reset clears" 0 (Engine.kernels_launched e)
+
+let test_engine_memory_tracking () =
+  let e = Engine.create tiny_spec in
+  Engine.alloc e 100;
+  Engine.alloc e 200;
+  Test_util.check_int "live" 300 (Engine.live_bytes e);
+  Engine.free e 250;
+  Test_util.check_int "after free" 50 (Engine.live_bytes e);
+  Test_util.check_int "peak" 300 (Engine.peak_bytes e)
+
+(* {1 Cluster} *)
+
+let test_cluster_single_core_no_allreduce () =
+  let c = Cluster.create ~cores:1 Spec.tpu_v3_core in
+  Test_util.check_close "no all-reduce alone" 0.0
+    (Cluster.all_reduce_time c ~bytes:1_000_000)
+
+let test_cluster_allreduce_grows_with_cores () =
+  let t cores =
+    Cluster.all_reduce_time
+      (Cluster.create ~cores Spec.tpu_v3_core)
+      ~bytes:100_000_000
+  in
+  Test_util.check_true "8 < 64 cores" (t 8 < t 64);
+  Test_util.check_true "64 < 512 cores" (t 64 < t 512)
+
+let test_cluster_allreduce_scales_with_bytes () =
+  let c = Cluster.create ~cores:16 Spec.tpu_v3_core in
+  Test_util.check_true "more bytes, more time"
+    (Cluster.all_reduce_time c ~bytes:1_000_000
+    < Cluster.all_reduce_time c ~bytes:100_000_000)
+
+let test_cluster_step_time_host_bound () =
+  let c = Cluster.create ~cores:4 Spec.tpu_v3_core in
+  let step = Cluster.step_time c ~compute:0.01 ~host:5.0 ~gradient_bytes:1000 in
+  Test_util.check_close "host dominates" 5.0 step
+
+let test_cluster_per_core_throughput_degrades_slowly () =
+  (* the Table 1 property: per-core throughput loss from 16 to 128 cores is
+     modest (under 10%) for a ResNet-50-sized gradient *)
+  let compute = 0.2 and grad = 100 * 1024 * 1024 in
+  let per_core cores =
+    let c = Cluster.create ~cores Spec.tpu_v3_core in
+    let step = Cluster.step_time c ~compute ~host:0.05 ~gradient_bytes:grad in
+    1.0 /. step
+  in
+  let p16 = per_core 16 and p128 = per_core 128 in
+  Test_util.check_true "some degradation" (p128 < p16);
+  Test_util.check_true "under 10%" (p128 > 0.9 *. p16)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "device.op_info",
+      [
+        tc "elementwise" `Quick test_op_info_elementwise;
+        tc "matmul" `Quick test_op_info_matmul;
+        tc "fused external traffic" `Quick test_op_info_fused;
+      ] );
+    ( "device.roofline",
+      [
+        tc "compute bound" `Quick test_roofline_compute_bound;
+        tc "memory bound" `Quick test_roofline_memory_bound;
+        tc "elementwise rate" `Quick test_roofline_elementwise_rate;
+      ] );
+    ( "device.engine",
+      [
+        tc "async dispatch fills pipeline" `Quick test_engine_async_dispatch;
+        tc "sync stalls host" `Quick test_engine_sync_stalls_host;
+        tc "host slower than device" `Quick test_engine_host_ahead_of_device;
+        tc "statistics" `Quick test_engine_stats;
+        tc "memory tracking" `Quick test_engine_memory_tracking;
+      ] );
+    ( "device.cluster",
+      [
+        tc "single core" `Quick test_cluster_single_core_no_allreduce;
+        tc "all-reduce grows with cores" `Quick test_cluster_allreduce_grows_with_cores;
+        tc "all-reduce grows with bytes" `Quick test_cluster_allreduce_scales_with_bytes;
+        tc "host-bound step" `Quick test_cluster_step_time_host_bound;
+        tc "per-core throughput (Table 1 shape)" `Quick
+          test_cluster_per_core_throughput_degrades_slowly;
+      ] );
+  ]

@@ -1,0 +1,236 @@
+(** Cross-library integration tests: the properties that only hold when the
+    whole platform fits together.
+
+    The flagship property mirrors the paper's backend-portability claim: the
+    {e same} functorized training code, run with the same seed on the naive,
+    eager, and lazy backends, produces numerically identical losses and
+    parameters — only the (simulated) cost profile differs. *)
+
+open S4o_tensor
+
+(* Train a small model for [steps] steps on the given backend and return the
+   per-step losses plus the final first-layer weights. *)
+let train_losses (type t) (module Bk : Backend_intf.S with type t = t)
+    ~after_step ~steps () =
+  let module M = S4o_nn.Models.Make (Bk) in
+  let module T = S4o_nn.Train.Make (Bk) in
+  let module O = S4o_nn.Optimizer.Make (Bk) in
+  let rng = Prng.create 123 in
+  let data = S4o_data.Dataset.synthetic_mnist rng ~n:(32 * steps) in
+  let batches = S4o_data.Dataset.batches data ~batch_size:32 in
+  let model = M.lenet rng in
+  let opt = O.sgd ~momentum:0.9 ~lr:0.05 model in
+  let losses = ref [] in
+  List.iter
+    (fun (images, one_hot, _) ->
+      let r = T.step model opt ~images ~labels:one_hot in
+      after_step (M.L.D.value r.T.loss :: O.updated_params opt);
+      losses := Dense.item (Bk.to_dense (M.L.D.value r.T.loss)) :: !losses)
+    batches;
+  let first_weights =
+    Bk.to_dense (M.L.Slot.data (List.hd (M.L.slots model)))
+  in
+  (List.rev !losses, first_weights)
+
+let test_identical_training_across_backends () =
+  let steps = 3 in
+  let naive_losses, naive_w =
+    train_losses (module Naive_backend) ~after_step:(fun _ -> ()) ~steps ()
+  in
+  let eager_losses, eager_w =
+    let engine = S4o_device.Engine.create S4o_device.Device_spec.gtx1080 in
+    let rt = S4o_eager.Runtime.create engine in
+    let module Bk = S4o_eager.Eager_backend.Make (struct
+      let rt = rt
+    end) in
+    train_losses (module Bk) ~after_step:(fun _ -> ()) ~steps ()
+  in
+  let lazy_losses, lazy_w =
+    let engine = S4o_device.Engine.create S4o_device.Device_spec.gtx1080 in
+    let rt = S4o_lazy.Lazy_runtime.create engine in
+    let module Bk = S4o_lazy.Lazy_backend.Make (struct
+      let rt = rt
+    end) in
+    train_losses (module Bk)
+      ~after_step:(fun ts -> S4o_lazy.Lazy_runtime.barrier rt ts)
+      ~steps ()
+  in
+  List.iter2
+    (fun a b -> Test_util.check_close ~eps:1e-9 "eager loss identical" a b)
+    naive_losses eager_losses;
+  List.iter2
+    (fun a b -> Test_util.check_close ~eps:1e-9 "lazy loss identical" a b)
+    naive_losses lazy_losses;
+  Test_util.check_tensor "eager weights identical" naive_w eager_w;
+  Test_util.check_tensor "lazy weights identical" naive_w lazy_w
+
+let test_lenet_training_step_changes_all_slots () =
+  let module M = S4o_nn.Models.Make (Naive_backend) in
+  let module T = S4o_nn.Train.Make (Naive_backend) in
+  let module O = S4o_nn.Optimizer.Make (Naive_backend) in
+  let rng = Prng.create 5 in
+  let data = S4o_data.Dataset.synthetic_mnist rng ~n:32 in
+  let model = M.lenet rng in
+  let before = List.map (fun s -> Dense.copy (M.L.Slot.data s)) (M.L.slots model) in
+  let opt = O.sgd ~lr:0.1 model in
+  (match S4o_data.Dataset.batches data ~batch_size:32 with
+  | (images, one_hot, _) :: _ -> ignore (T.step model opt ~images ~labels:one_hot)
+  | [] -> Alcotest.fail "no batch");
+  List.iter2
+    (fun b s ->
+      Test_util.check_true "slot updated" (not (Dense.equal b (M.L.Slot.data s))))
+    before (M.L.slots model)
+
+let test_sil_and_runtime_ad_agree () =
+  (* the same function differentiated by the compile-time MSIL transform and
+     by the runtime reverse tape *)
+  let module B = S4o_sil.Builder in
+  let b = B.create ~name:"fn" ~n_args:2 in
+  let x = B.param b 0 and y = B.param b 1 in
+  let xy = B.binary b S4o_sil.Ir.Mul x y in
+  let e = B.unary b S4o_sil.Ir.Exp x in
+  let r = B.binary b S4o_sil.Ir.Add xy e in
+  let s = B.unary b S4o_sil.Ir.Sigmoid r in
+  B.ret b s;
+  let f = B.finish b in
+  let m = S4o_sil.Interp.create_module () in
+  S4o_sil.Interp.add m f;
+  let ctx = S4o_sil.Transform.create_ctx m in
+  let module R = S4o_core.Reverse in
+  let runtime_fn xs =
+    R.sigmoid (R.add (R.mul xs.(0) xs.(1)) (R.exp xs.(0)))
+  in
+  List.iter
+    (fun (a, bb) ->
+      let g_sil = S4o_sil.Transform.gradient ctx "fn" [| a; bb |] in
+      let _, g_rt = R.grad runtime_fn [| a; bb |] in
+      Test_util.check_close "d/dx agree" g_rt.(0) g_sil.(0);
+      Test_util.check_close "d/dy agree" g_rt.(1) g_sil.(1))
+    [ (0.5, 1.0); (-0.3, 2.0); (1.7, -0.8) ]
+
+let test_diff_fn_wraps_sil_derivative () =
+  (* a synthesized MSIL derivative packaged as a differentiable function
+     value and used through the Figure 2 gradient operator *)
+  let module B = S4o_sil.Builder in
+  let b = B.create ~name:"sq" ~n_args:1 in
+  let x = B.param b 0 in
+  B.ret b (B.binary b S4o_sil.Ir.Mul x x);
+  let f = B.finish b in
+  let m = S4o_sil.Interp.create_module () in
+  S4o_sil.Interp.add m f;
+  let ctx = S4o_sil.Transform.create_ctx m in
+  let d = S4o_sil.Transform.derivative_of ctx "sq" in
+  let bundle =
+    S4o_core.Diff_fn.make
+      ~f:(fun x -> S4o_sil.Interp.eval m f [| x |])
+      ~jvp:(fun x ->
+        let v, df = d.S4o_sil.Transform.jvp [| x |] in
+        (v, fun dx -> df [| dx |]))
+      ~vjp:(fun x ->
+        let v, pb = d.S4o_sil.Transform.vjp [| x |] in
+        (v, fun s -> (pb s).(0)))
+  in
+  Test_util.check_close "gradient through the bundle" 6.0
+    (S4o_core.Diff_fn.gradient ~at:3.0 bundle)
+
+let test_lazy_resnet_tiny_trains () =
+  let engine = S4o_device.Engine.create S4o_device.Device_spec.gtx1080 in
+  let rt = S4o_lazy.Lazy_runtime.create engine in
+  let module Bk = S4o_lazy.Lazy_backend.Make (struct
+    let rt = rt
+  end) in
+  let module M = S4o_nn.Models.Make (Bk) in
+  let module T = S4o_nn.Train.Make (Bk) in
+  let module O = S4o_nn.Optimizer.Make (Bk) in
+  let rng = Prng.create 7 in
+  let data = S4o_data.Dataset.synthetic_cifar10 rng ~n:64 in
+  let batches = S4o_data.Dataset.batches data ~batch_size:16 in
+  let model = M.resnet rng ~in_channels:3 (M.resnet_tiny_config ~classes:10) in
+  let opt = O.sgd ~lr:0.05 model in
+  let first = ref None and last = ref None in
+  List.iter
+    (fun (images, one_hot, _) ->
+      let r = T.step model opt ~images ~labels:one_hot in
+      Bk.barrier (M.L.D.value r.T.loss :: O.updated_params opt);
+      let l = Dense.item (Bk.to_dense (M.L.D.value r.T.loss)) in
+      if !first = None then first := Some l;
+      last := Some l)
+    (batches @ batches);
+  match (!first, !last) with
+  | Some f, Some l -> Test_util.check_true "loss moved down" (l < f)
+  | _ -> Alcotest.fail "no steps"
+
+let test_mobile_workload_drives_spline_library () =
+  (* mobile simulation numbers change when the real workload changes *)
+  let w1, _, _ =
+    S4o_mobile.Mobile_runtime.run_fine_tuning ~n_knots:12 ~n_data:100
+      ~user_shift:0.2 (Prng.create 1)
+  in
+  let w2, _, _ =
+    S4o_mobile.Mobile_runtime.run_fine_tuning ~n_knots:12 ~n_data:400
+      ~user_shift:0.2 (Prng.create 1)
+  in
+  Test_util.check_true "more data, more flops per eval"
+    (w2.S4o_mobile.Mobile_runtime.flops_per_gradient_eval
+    > w1.S4o_mobile.Mobile_runtime.flops_per_gradient_eval)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "integration",
+      [
+        tc "identical training on naive/eager/lazy" `Quick
+          test_identical_training_across_backends;
+        tc "training step touches every slot" `Quick
+          test_lenet_training_step_changes_all_slots;
+        tc "MSIL transform = runtime tape" `Quick test_sil_and_runtime_ad_agree;
+        tc "Figure 2 operator over a synthesized derivative" `Quick
+          test_diff_fn_wraps_sil_derivative;
+        tc "tiny resnet trains on lazy backend" `Quick test_lazy_resnet_tiny_trains;
+        tc "mobile models consume measured workloads" `Quick
+          test_mobile_workload_drives_spline_library;
+      ] );
+  ]
+
+let test_transformer_traces_and_matches_naive () =
+  (* the attention stack (batched matmuls, layer norm, softmax composition)
+     must trace, compile, and produce the same numbers as the naive backend *)
+  let build (type t) (module Bk : Backend_intf.S with type t = t) =
+    let module A = S4o_nn.Attention.Make (Bk) in
+    let rng = Prng.create 33 in
+    let block = A.transformer_block rng ~d_model:4 ~d_ff:8 () in
+    let x = Dense.rand_normal (Prng.create 34) [| 2; 3; 4 |] in
+    let ctx = A.D.new_ctx () in
+    let y = A.L.apply block ctx (A.D.const (Bk.of_dense x)) in
+    let loss = A.D.mean_all (A.D.mul y y) in
+    A.D.backward ctx loss;
+    let grad =
+      match A.L.Slot.grad (List.hd (A.L.slots block)) with
+      | Some g -> Bk.to_dense g
+      | None -> Alcotest.fail "no grad"
+    in
+    (Bk.to_dense (A.D.value loss), grad)
+  in
+  let loss_n, grad_n = build (module Naive_backend) in
+  let engine = S4o_device.Engine.create S4o_device.Device_spec.gtx1080 in
+  let rt = S4o_lazy.Lazy_runtime.create engine in
+  let module Lz = S4o_lazy.Lazy_backend.Make (struct
+    let rt = rt
+  end) in
+  let loss_l, grad_l = build (module Lz) in
+  Test_util.check_tensor "transformer loss identical on lazy" loss_n loss_l;
+  Test_util.check_tensor "transformer grads identical on lazy" grad_n grad_l;
+  let st = S4o_lazy.Lazy_runtime.stats rt in
+  Test_util.check_true "attention actually traced"
+    (st.S4o_lazy.Lazy_runtime.ops_traced > 50)
+
+let transformer_suite =
+  [
+    ( "integration.transformer",
+      [
+        Alcotest.test_case "transformer block on lazy = naive" `Quick
+          test_transformer_traces_and_matches_naive;
+      ] );
+  ]
+
+let suite = suite @ transformer_suite

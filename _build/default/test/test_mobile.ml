@@ -1,0 +1,94 @@
+(** Tests for the mobile runtime models (Table 4) and the real fine-tuning
+    workload behind them. *)
+
+open S4o_tensor
+module Mr = S4o_mobile.Mobile_runtime
+
+(* a small, fast workload for unit tests *)
+let small_workload () =
+  Mr.run_fine_tuning ~n_knots:24 ~n_data:600 ~noise:0.05 ~user_shift:0.3
+    (Prng.create 1)
+
+let test_fine_tuning_converges () =
+  let workload, spline, stats = small_workload () in
+  Test_util.check_true "converged" stats.S4o_spline.Line_search.converged;
+  Test_util.check_true "did some work" (workload.Mr.iterations > 3);
+  (* personalization learned the user's shift *)
+  let err =
+    Float.abs
+      (S4o_spline.Spline.eval spline 1.5
+      -. (S4o_spline.Spline.global_curve 1.5 +. 0.3))
+  in
+  Test_util.check_true "tracks the shifted curve" (err < 0.1)
+
+let test_workload_measured_not_modeled () =
+  let workload, _, stats = small_workload () in
+  Test_util.check_int "iterations from optimizer"
+    stats.S4o_spline.Line_search.iterations workload.Mr.iterations;
+  Test_util.check_int "fevals from optimizer"
+    stats.S4o_spline.Line_search.function_evals workload.Mr.function_evals;
+  Test_util.check_true "flops instrumented"
+    (workload.Mr.flops_per_gradient_eval > workload.Mr.flops_per_function_eval)
+
+let test_simulation_orderings () =
+  let workload, _, _ = small_workload () in
+  let report style = Mr.simulate style workload in
+  let mobile = report Mr.Tf_mobile in
+  let lite = report Mr.Tf_lite in
+  let fused = report Mr.Tf_lite_fused in
+  let s4o = report Mr.S4o_aot in
+  (* Table 4's qualitative claims *)
+  Test_util.check_true "TF Mobile is slowest by far"
+    (mobile.Mr.train_ms > 5.0 *. lite.Mr.train_ms);
+  Test_util.check_true "fused custom op is fastest"
+    (fused.Mr.train_ms < s4o.Mr.train_ms && fused.Mr.train_ms < lite.Mr.train_ms);
+  Test_util.check_true "S4O beats standard TF Lite"
+    (s4o.Mr.train_ms < lite.Mr.train_ms);
+  Test_util.check_true "S4O has the lowest memory"
+    (List.for_all
+       (fun r -> s4o.Mr.memory_mb <= r.Mr.memory_mb)
+       [ mobile; lite; fused ]);
+  Test_util.check_true "TF Lite binaries are smallest"
+    (lite.Mr.binary_mb < s4o.Mr.binary_mb && s4o.Mr.binary_mb < mobile.Mr.binary_mb)
+
+let test_simulation_scales_with_work () =
+  let workload, _, _ = small_workload () in
+  let doubled =
+    { workload with Mr.function_evals = workload.Mr.function_evals * 2;
+      gradient_evals = workload.Mr.gradient_evals * 2 }
+  in
+  List.iter
+    (fun style ->
+      let t1 = (Mr.simulate style workload).Mr.train_ms in
+      let t2 = (Mr.simulate style doubled).Mr.train_ms in
+      Test_util.check_close ~eps:1e-6 "time scales linearly" (2.0 *. t1) t2)
+    Mr.all_styles
+
+let test_all_fields_positive () =
+  let workload, _, _ = small_workload () in
+  List.iter
+    (fun style ->
+      let r = Mr.simulate style workload in
+      Test_util.check_true "positive time" (r.Mr.train_ms > 0.0);
+      Test_util.check_true "positive memory" (r.Mr.memory_mb > 0.0);
+      Test_util.check_true "positive binary" (r.Mr.binary_mb > 0.0))
+    Mr.all_styles
+
+let test_style_names_distinct () =
+  let names = List.map Mr.style_name Mr.all_styles in
+  Test_util.check_int "four distinct styles" 4
+    (List.length (List.sort_uniq compare names))
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "mobile.runtime",
+      [
+        tc "fine-tuning converges for real" `Quick test_fine_tuning_converges;
+        tc "workload is measured" `Quick test_workload_measured_not_modeled;
+        tc "Table 4 orderings" `Quick test_simulation_orderings;
+        tc "time scales with work" `Quick test_simulation_scales_with_work;
+        tc "fields positive" `Quick test_all_fields_positive;
+        tc "style names" `Quick test_style_names_distinct;
+      ] );
+  ]

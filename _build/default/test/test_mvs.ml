@@ -1,0 +1,224 @@
+(** Tests for mutable value semantics (§4): the copy-on-write buffer, the
+    array-subscript AD formulations of Appendix B, the inout/pass-by-value
+    equivalence of Appendix A (Figure 8), and the model-update shapes of
+    §4.2. *)
+
+open S4o_tensor
+module Cow = S4o_mvs.Cow
+module Sub = S4o_mvs.Subscript_ad
+module Inout = S4o_mvs.Inout
+
+(* {1 Copy-on-write value semantics} *)
+
+let test_cow_no_spooky_action () =
+  (* the Figure 5 scenario: x = [3]; y = x; x[0] += 1 *)
+  let x = Cow.of_array [| 3.0 |] in
+  let y = Cow.copy x in
+  Cow.add_at x 0 1.0;
+  Test_util.check_float "x sees its mutation" 4.0 (Cow.get x 0);
+  Test_util.check_float "y does NOT (value semantics)" 3.0 (Cow.get y 0)
+
+let test_cow_copy_is_lazy () =
+  Cow.reset_copy_count ();
+  let x = Cow.create 1000 1.0 in
+  let copies = List.init 10 (fun _ -> Cow.copy x) in
+  Test_util.check_int "no physical copies yet" 0 (Cow.copy_count ());
+  Test_util.check_true "storage shared" (Cow.is_shared x);
+  (* first mutation through one handle pays exactly one copy *)
+  Cow.set (List.hd copies) 0 9.0;
+  Test_util.check_int "one copy on first mutation" 1 (Cow.copy_count ());
+  (* mutating the same (now unique) handle again is free *)
+  Cow.set (List.hd copies) 1 9.0;
+  Test_util.check_int "no further copies" 1 (Cow.copy_count ())
+
+let test_cow_unique_mutation_is_free () =
+  Cow.reset_copy_count ();
+  let x = Cow.create 10 0.0 in
+  Cow.set x 3 1.0;
+  Cow.map_inplace (fun v -> v +. 1.0) x;
+  Test_util.check_int "unshared mutation copies nothing" 0 (Cow.copy_count ());
+  Test_util.check_float "mutations applied" 2.0 (Cow.get x 3)
+
+let test_cow_blend () =
+  let dst = Cow.of_array [| 1.0; 2.0 |] in
+  let src = Cow.of_array [| 10.0; 10.0 |] in
+  Cow.blend ~alpha:0.5 dst src;
+  Test_util.check_float "blend" 6.0 (Cow.get dst 0);
+  Test_util.check_raises_any "length mismatch" (fun () ->
+      Cow.blend ~alpha:1.0 dst (Cow.create 3 0.0))
+
+let qcheck_cow_equals_plain_array =
+  (* a random sequence of copies and mutations behaves identically to an
+     oracle using eager full copies *)
+  Test_util.qtest ~count:100 "CoW is observationally a value type"
+    QCheck.(list_of_size (Gen.int_range 1 40) (pair (int_range 0 3) (int_range 0 7)))
+    (fun script ->
+      let cows = Array.init 4 (fun _ -> Cow.create 8 0.0) in
+      let oracle = Array.init 4 (fun _ -> Array.make 8 0.0) in
+      List.iteri
+        (fun step (which, idx) ->
+          if step mod 3 = 0 then begin
+            (* copy handle (which) over handle (which+1 mod 4) *)
+            let dst = (which + 1) mod 4 in
+            cows.(dst) <- Cow.copy cows.(which);
+            oracle.(dst) <- Array.copy oracle.(which)
+          end
+          else begin
+            Cow.set cows.(which) idx (float_of_int step);
+            oracle.(which).(idx) <- float_of_int step
+          end)
+        script;
+      Array.for_all2 (fun c o -> Cow.to_array c = o) cows oracle)
+
+(* {1 Appendix B: subscript pullbacks} *)
+
+let test_subscript_pullbacks_agree () =
+  let values = Array.init 20 (fun i -> float_of_int i *. 0.5) in
+  let gf = Sub.grad_my_op_functional values 3 11 in
+  let gi = Sub.grad_my_op_inout values 3 11 in
+  Test_util.check_float_array "functional = inout" gf gi;
+  Test_util.check_float "one at a" 1.0 gf.(3);
+  Test_util.check_float "one at b" 1.0 gf.(11);
+  Test_util.check_float "zero elsewhere" 0.0 gf.(0)
+
+let test_subscript_repeated_index_accumulates () =
+  let values = Array.init 8 float_of_int in
+  (* a = b: gradient 2 at that index *)
+  let gf = Sub.grad_my_op_functional values 5 5 in
+  let gi = Sub.grad_my_op_inout values 5 5 in
+  Test_util.check_float "functional accumulates" 2.0 gf.(5);
+  Test_util.check_float "inout accumulates" 2.0 gi.(5)
+
+let test_gather_pullbacks_agree () =
+  let values = Array.init 30 (fun i -> Float.sin (float_of_int i)) in
+  let indices = [| 0; 7; 7; 29; 13 |] in
+  Test_util.check_float_array "gather grads agree"
+    (Sub.grad_gather_functional values indices)
+    (Sub.grad_gather_inout values indices);
+  Test_util.check_float "repeated gather index" 2.0
+    (Sub.grad_gather_inout values indices).(7)
+
+let test_subscript_primal_values () =
+  let values = [| 1.0; 2.0; 4.0 |] in
+  let v, _ = Sub.my_op_functional values 0 2 in
+  Test_util.check_float "primal" 5.0 v;
+  let v2, _ = Sub.my_op_inout values 0 2 in
+  Test_util.check_float "primal inout" 5.0 v2
+
+let test_inout_pullback_composes () =
+  (* run two pullbacks into the same buffer: contributions accumulate, the
+     "composes correctly in the presence of additional operations" claim *)
+  let values = Array.init 10 float_of_int in
+  let g = Array.make 10 0.0 in
+  let _, pb1 = Sub.my_op_inout values 1 2 in
+  let _, pb2 = Sub.my_op_inout values 2 3 in
+  pb1 1.0 g;
+  pb2 1.0 g;
+  Test_util.check_float_array "accumulated"
+    [| 0.; 1.; 2.; 1.; 0.; 0.; 0.; 0.; 0.; 0. |]
+    g
+
+(* {1 Trees: big-to-small derivatives} *)
+
+let rec full_tree depth v =
+  if depth = 0 then Sub.Leaf
+  else
+    Sub.Node
+      {
+        value = v;
+        left = full_tree (depth - 1) (v *. 2.0);
+        right = full_tree (depth - 1) ((v *. 2.0) +. 1.0);
+      }
+
+let test_tree_read_and_pullback () =
+  let t = full_tree 4 1.0 in
+  let path = [ true; false; true ] in
+  let v, pb = Sub.tree_read t path in
+  Test_util.check_float "vertex value" 10.0 v;
+  let g = Sub.gtree_zero_like t in
+  pb 2.5 g;
+  Test_util.check_float "gradient lands on the path" 2.5 (Sub.gtree_lookup g path);
+  Test_util.check_float "empty elsewhere" 0.0 (Sub.gtree_lookup g [ false ])
+
+let test_tree_path_errors () =
+  let t = full_tree 2 1.0 in
+  Test_util.check_raises_any "path too deep" (fun () ->
+      Sub.tree_read t [ true; true; true ])
+
+(* {1 Appendix A: inout = pass-by-value} *)
+
+let test_inc_equivalence () =
+  (* both programs print "3 true" *)
+  let y = ref 2 in
+  let z = Inout.inc_inout y in
+  let y', z' = Inout.inc_value 2 in
+  Test_util.check_int "inout y" 3 !y;
+  Test_util.check_int "value y" 3 y';
+  Test_util.check_bool "flags agree" z z'
+
+let qcheck_inc_equivalence =
+  Test_util.qtest "Figure 8 equivalence for all inputs"
+    QCheck.(int_range (-100) 100)
+    (fun x ->
+      let r = ref x in
+      let b = Inout.inc_inout r in
+      let x', b' = Inout.inc_value x in
+      !r = x' && b = b')
+
+(* {1 S4.2: model update shapes} *)
+
+let test_update_styles_agree () =
+  let rng = Prng.create 1 in
+  let model = Inout.synthetic_model rng ~layers:3 ~width:4 in
+  let grads = Inout.synthetic_model rng ~layers:3 ~width:4 in
+  let functional = Inout.functional_update model grads ~lr:0.1 in
+  (* in-place on a deep copy *)
+  let copy = Array.map Dense.copy model in
+  Inout.inplace_update copy grads ~lr:0.1 ;
+  Array.iteri
+    (fun i t -> Test_util.check_tensor "same result" functional.(i) t)
+    copy
+
+let test_functional_update_preserves_input () =
+  let rng = Prng.create 2 in
+  let model = Inout.synthetic_model rng ~layers:1 ~width:2 in
+  let before = Dense.copy model.(0) in
+  let grads = Inout.synthetic_model rng ~layers:1 ~width:2 in
+  let _ = Inout.functional_update model grads ~lr:0.5 in
+  Test_util.check_tensor "input model untouched" before model.(0)
+
+let test_model_bytes () =
+  let rng = Prng.create 3 in
+  let model = Inout.synthetic_model rng ~layers:2 ~width:8 in
+  Test_util.check_int "8 bytes per param" (2 * 8 * 8 * 8) (Inout.bytes_of_model model)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "mvs.cow",
+      [
+        tc "no spooky action at a distance" `Quick test_cow_no_spooky_action;
+        tc "copies are lazy" `Quick test_cow_copy_is_lazy;
+        tc "unique mutation free" `Quick test_cow_unique_mutation_is_free;
+        tc "blend" `Quick test_cow_blend;
+        qcheck_cow_equals_plain_array;
+      ] );
+    ( "mvs.subscript_ad",
+      [
+        tc "pullback formulations agree" `Quick test_subscript_pullbacks_agree;
+        tc "repeated index accumulates" `Quick test_subscript_repeated_index_accumulates;
+        tc "gather agrees" `Quick test_gather_pullbacks_agree;
+        tc "primal values" `Quick test_subscript_primal_values;
+        tc "inout pullbacks compose" `Quick test_inout_pullback_composes;
+        tc "tree big-to-small derivative" `Quick test_tree_read_and_pullback;
+        tc "tree path errors" `Quick test_tree_path_errors;
+      ] );
+    ( "mvs.inout",
+      [
+        tc "Figure 8 programs agree" `Quick test_inc_equivalence;
+        qcheck_inc_equivalence;
+        tc "update styles agree" `Quick test_update_styles_agree;
+        tc "functional preserves input" `Quick test_functional_update_preserves_input;
+        tc "model byte accounting" `Quick test_model_bytes;
+      ] );
+  ]

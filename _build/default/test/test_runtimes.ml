@@ -1,0 +1,312 @@
+(** Tests for the eager (§3.2) and lazy (§3.3–3.4) runtimes: both must agree
+    exactly with the naive backend on values, while exhibiting their
+    characteristic cost behaviour on the simulated clocks. *)
+
+open S4o_tensor
+module Engine = S4o_device.Engine
+module Spec = S4o_device.Device_spec
+
+(* fresh eager stack per test *)
+let with_eager f =
+  let engine = Engine.create Spec.gtx1080 in
+  let rt = S4o_eager.Runtime.create engine in
+  let module Bk = S4o_eager.Eager_backend.Make (struct
+    let rt = rt
+  end) in
+  f (module Bk : Backend_intf.S) rt engine
+
+let with_lazy ?cache_enabled f =
+  let engine = Engine.create Spec.gtx1080 in
+  let rt = S4o_lazy.Lazy_runtime.create ?cache_enabled engine in
+  let module Bk = S4o_lazy.Lazy_backend.Make (struct
+    let rt = rt
+  end) in
+  f (module Bk : Backend_intf.S) rt engine
+
+(* A composite expression exercised on every backend. *)
+let expr (type t) (module Bk : Backend_intf.S with type t = t) a b =
+  let x = Bk.of_dense a and y = Bk.of_dense b in
+  let z = Bk.relu (Bk.sub (Bk.mul x y) (Bk.add_scalar 0.5 x)) in
+  let m = Bk.matmul (Bk.reshape z [| 2; 2 |]) (Bk.reshape y [| 2; 2 |]) in
+  Bk.to_dense (Bk.softmax m)
+
+let sample_inputs seed =
+  let g = Prng.create seed in
+  (Dense.rand_normal g [| 4 |], Dense.rand_normal g [| 4 |])
+
+let reference seed =
+  let a, b = sample_inputs seed in
+  expr (module Naive_backend) a b
+
+(* {1 Backend agreement} *)
+
+let test_eager_matches_naive () =
+  with_eager (fun (module Bk) _ _ ->
+      List.iter
+        (fun seed ->
+          let a, b = sample_inputs seed in
+          Test_util.check_tensor "eager = naive" (reference seed)
+            (expr (module Bk) a b))
+        [ 1; 2; 3; 4; 5 ])
+
+let test_lazy_matches_naive () =
+  with_lazy (fun (module Bk) _ _ ->
+      List.iter
+        (fun seed ->
+          let a, b = sample_inputs seed in
+          Test_util.check_tensor "lazy = naive" (reference seed)
+            (expr (module Bk) a b))
+        [ 1; 2; 3; 4; 5 ])
+
+let qcheck_three_backends_agree =
+  Test_util.qtest ~count:40 "naive = eager = lazy on random inputs"
+    QCheck.(int_range 10 10_000)
+    (fun seed ->
+      let a, b = sample_inputs seed in
+      let naive = expr (module Naive_backend) a b in
+      let eager = with_eager (fun (module Bk) _ _ -> expr (module Bk) a b) in
+      let lzy = with_lazy (fun (module Bk) _ _ -> expr (module Bk) a b) in
+      Dense.equal naive eager && Dense.allclose ~rtol:1e-12 ~atol:1e-12 naive lzy)
+
+(* {1 Eager runtime behaviour} *)
+
+let test_eager_dispatch_costs_host_time () =
+  with_eager (fun (module Bk) rt _ ->
+      let a, b = sample_inputs 1 in
+      let _ = expr (module Bk) a b in
+      Test_util.check_true "ops dispatched" (S4o_eager.Runtime.ops_dispatched rt > 5);
+      Test_util.check_true "host time accrued"
+        (S4o_eager.Runtime.host_time rt > 0.0))
+
+let test_eager_pipeline_until_observed () =
+  with_eager (fun (module Bk) _ engine ->
+      let a, _ = sample_inputs 1 in
+      let x = Bk.of_dense a in
+      let y = Bk.relu (Bk.exp x) in
+      (* nothing observed yet: device may still be behind *)
+      let depth_before = Engine.pipeline_depth engine in
+      let _ = Bk.to_dense y in
+      Test_util.check_true "pipeline filled then drained"
+        (depth_before >= 0.0 && Engine.pipeline_depth engine = 0.0))
+
+let test_eager_overhead_configurable () =
+  let engine = Engine.create Spec.gtx1080 in
+  let rt = S4o_eager.Runtime.create ~dispatch_overhead:1.0 engine in
+  let module Bk = S4o_eager.Eager_backend.Make (struct
+    let rt = rt
+  end) in
+  let _ = Bk.relu (Bk.of_dense (Dense.zeros [| 2 |])) in
+  Test_util.check_close "1s per op" 1.0 (S4o_eager.Runtime.host_time rt)
+
+(* {1 Lazy runtime behaviour} *)
+
+let test_lazy_defers_execution () =
+  with_lazy (fun (module Bk) rt engine ->
+      let a, _ = sample_inputs 2 in
+      let x = Bk.of_dense a in
+      let _y = Bk.relu (Bk.exp (Bk.sqrt (Bk.sigmoid x))) in
+      ignore _y;
+      (* no trace cut, no kernels, no compiles until observation *)
+      let st = S4o_lazy.Lazy_runtime.stats rt in
+      Test_util.check_int "no traces yet" 0 st.S4o_lazy.Lazy_runtime.traces_cut;
+      Test_util.check_int "no kernels yet" 0 (Engine.kernels_launched engine))
+
+let test_lazy_program_cache_hits () =
+  with_lazy (fun (module Bk) rt _ ->
+      let step seed =
+        let a, b = sample_inputs seed in
+        ignore (expr (module Bk) a b)
+      in
+      (* same structure, different data: compile once, then cache hits *)
+      List.iter step [ 1; 2; 3; 4; 5 ];
+      let st = S4o_lazy.Lazy_runtime.stats rt in
+      Test_util.check_int "five traces" 5 st.S4o_lazy.Lazy_runtime.traces_cut;
+      Test_util.check_int "one compile" 1 st.S4o_lazy.Lazy_runtime.cache_misses;
+      Test_util.check_int "four hits" 4 st.S4o_lazy.Lazy_runtime.cache_hits)
+
+let test_lazy_shape_change_recompiles () =
+  with_lazy (fun (module Bk) rt _ ->
+      let run n =
+        let g = Prng.create n in
+        let x = Bk.of_dense (Dense.rand_normal g [| n |]) in
+        ignore (Bk.to_dense (Bk.relu x))
+      in
+      run 4;
+      run 4;
+      run 8;
+      (* S3.4: "changes in the dimensions of the input tensors can trigger
+         recompilation" *)
+      let st = S4o_lazy.Lazy_runtime.stats rt in
+      Test_util.check_int "two compiles for two shapes" 2
+        st.S4o_lazy.Lazy_runtime.cache_misses;
+      Test_util.check_int "one hit for the repeat" 1
+        st.S4o_lazy.Lazy_runtime.cache_hits)
+
+let test_lazy_cache_disabled_recompiles () =
+  with_lazy ~cache_enabled:false (fun (module Bk) rt _ ->
+      let run () =
+        let x = Bk.of_dense (Dense.ones [| 4 |]) in
+        ignore (Bk.to_dense (Bk.relu x))
+      in
+      run ();
+      run ();
+      run ();
+      let st = S4o_lazy.Lazy_runtime.stats rt in
+      Test_util.check_int "every trace compiles" 3 st.S4o_lazy.Lazy_runtime.cache_misses)
+
+let test_lazy_tracing_overhead_charged () =
+  let engine = Engine.create Spec.gtx1080 in
+  let rt = S4o_lazy.Lazy_runtime.create ~trace_overhead_per_op:1.0 engine in
+  let module Bk = S4o_lazy.Lazy_backend.Make (struct
+    let rt = rt
+  end) in
+  let x = Bk.of_dense (Dense.ones [| 4 |]) in
+  let _ = Bk.to_dense (Bk.relu (Bk.exp x)) in
+  (* two recorded ops at 1s each, plus compile time *)
+  Test_util.check_true "re-tracing overhead on the host clock"
+    (Engine.host_time engine >= 2.0)
+
+let test_lazy_barrier_cuts_trace () =
+  let engine = Engine.create Spec.gtx1080 in
+  let rt = S4o_lazy.Lazy_runtime.create engine in
+  let module Bk = S4o_lazy.Lazy_backend.Make (struct
+    let rt = rt
+  end) in
+  let x = Bk.of_dense (Dense.ones [| 4 |]) in
+  let y = Bk.relu x in
+  Bk.barrier [ y ];
+  let st = S4o_lazy.Lazy_runtime.stats rt in
+  Test_util.check_int "trace cut at barrier" 1 st.S4o_lazy.Lazy_runtime.traces_cut;
+  (* after the barrier, y is device data: a new trace starts from it *)
+  let z = Bk.to_dense (Bk.exp y) in
+  Test_util.check_tensor "value correct across barrier"
+    (Dense.exp (Dense.relu (Dense.ones [| 4 |])))
+    z;
+  let st = S4o_lazy.Lazy_runtime.stats rt in
+  Test_util.check_int "second trace only 1 op" 1
+    st.S4o_lazy.Lazy_runtime.largest_trace
+
+let test_lazy_placeholder_timing_only () =
+  let engine = Engine.create Spec.gtx1080 in
+  let rt = S4o_lazy.Lazy_runtime.create engine in
+  let module Bk = S4o_lazy.Lazy_backend.Make (struct
+    let rt = rt
+  end) in
+  let x = Bk.placeholder [| 64; 64 |] in
+  let y = Bk.matmul x x in
+  Bk.barrier [ y ];
+  (* clock advanced, kernels counted, but contents unobservable *)
+  Test_util.check_true "device time advanced" (Engine.device_ready_at engine > 0.0);
+  Test_util.check_raises_any "cannot observe timing-only tensors" (fun () ->
+      Bk.to_dense y)
+
+let test_lazy_capture_is_free () =
+  let engine = Engine.create Spec.gtx1080 in
+  let rt = S4o_lazy.Lazy_runtime.create engine in
+  let module Bk = S4o_lazy.Lazy_backend.Make (struct
+    let rt = rt
+  end) in
+  let x = Bk.placeholder [| 4 |] in
+  let y = Bk.relu (Bk.exp x) in
+  let g = Bk.capture [ y ] in
+  Test_util.check_int "graph has param + 2 ops" 3 (S4o_xla.Hlo.size g);
+  Test_util.check_close "no cost charged" 0.0 (Engine.host_time engine);
+  let st = S4o_lazy.Lazy_runtime.stats rt in
+  Test_util.check_int "no trace consumed" 0 st.S4o_lazy.Lazy_runtime.traces_cut
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "runtimes.agreement",
+      [
+        tc "eager = naive" `Quick test_eager_matches_naive;
+        tc "lazy = naive" `Quick test_lazy_matches_naive;
+        qcheck_three_backends_agree;
+      ] );
+    ( "runtimes.eager",
+      [
+        tc "dispatch costs host time" `Quick test_eager_dispatch_costs_host_time;
+        tc "pipeline drains on observe" `Quick test_eager_pipeline_until_observed;
+        tc "overhead configurable" `Quick test_eager_overhead_configurable;
+      ] );
+    ( "runtimes.lazy",
+      [
+        tc "defers execution" `Quick test_lazy_defers_execution;
+        tc "program cache hits across values" `Quick test_lazy_program_cache_hits;
+        tc "shape change recompiles" `Quick test_lazy_shape_change_recompiles;
+        tc "cache ablation recompiles" `Quick test_lazy_cache_disabled_recompiles;
+        tc "re-tracing overhead charged" `Quick test_lazy_tracing_overhead_charged;
+        tc "barrier cuts the trace" `Quick test_lazy_barrier_cuts_trace;
+        tc "timing-only placeholders" `Quick test_lazy_placeholder_timing_only;
+        tc "capture charges nothing" `Quick test_lazy_capture_is_free;
+      ] );
+  ]
+
+(* {1 Automatic trace cutting (S3.4 future work, implemented)} *)
+
+let test_auto_cut_dispatches_without_barriers () =
+  let engine = Engine.create Spec.gtx1080 in
+  let rt = S4o_lazy.Lazy_runtime.create ~auto_cut_threshold:5 engine in
+  let module Bk = S4o_lazy.Lazy_backend.Make (struct
+    let rt = rt
+  end) in
+  let x = ref (Bk.of_dense (Dense.ones [| 4 |])) in
+  for _ = 1 to 20 do
+    x := Bk.relu (Bk.add_scalar 0.1 !x)
+  done;
+  (* 40 recorded ops with threshold 5: the runtime must have cut on its own *)
+  Test_util.check_true "auto cuts happened" (S4o_lazy.Lazy_runtime.auto_cuts rt >= 7);
+  let st = S4o_lazy.Lazy_runtime.stats rt in
+  Test_util.check_true "fragments bounded" (st.S4o_lazy.Lazy_runtime.largest_trace <= 5);
+  (* and values are still exactly right: replay the exact op sequence *)
+  let reference = ref (Dense.ones [| 4 |]) in
+  for _ = 1 to 20 do
+    reference := Dense.relu (Dense.add_scalar 0.1 !reference)
+  done;
+  Test_util.check_tensor "auto-cut values correct" !reference (Bk.to_dense !x)
+
+let test_auto_cut_disabled_by_default () =
+  let engine = Engine.create Spec.gtx1080 in
+  let rt = S4o_lazy.Lazy_runtime.create engine in
+  let module Bk = S4o_lazy.Lazy_backend.Make (struct
+    let rt = rt
+  end) in
+  let x = ref (Bk.of_dense (Dense.ones [| 4 |])) in
+  for _ = 1 to 50 do
+    x := Bk.relu !x
+  done;
+  Test_util.check_int "no auto cuts" 0 (S4o_lazy.Lazy_runtime.auto_cuts rt)
+
+let test_auto_cut_threshold_validated () =
+  let engine = Engine.create Spec.gtx1080 in
+  Test_util.check_raises_any "rejects non-positive threshold" (fun () ->
+      S4o_lazy.Lazy_runtime.create ~auto_cut_threshold:0 engine)
+
+let test_manual_barrier_resets_auto_counter () =
+  let engine = Engine.create Spec.gtx1080 in
+  let rt = S4o_lazy.Lazy_runtime.create ~auto_cut_threshold:10 engine in
+  let module Bk = S4o_lazy.Lazy_backend.Make (struct
+    let rt = rt
+  end) in
+  let x = ref (Bk.of_dense (Dense.ones [| 4 |])) in
+  for _ = 1 to 8 do
+    x := Bk.relu !x;
+    Bk.barrier [ !x ]
+  done;
+  (* each manual cut resets the counter, so the threshold is never reached *)
+  Test_util.check_int "no auto cuts with frequent barriers" 0
+    (S4o_lazy.Lazy_runtime.auto_cuts rt)
+
+let auto_cut_suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "runtimes.auto_cut",
+      [
+        tc "dispatches without annotations" `Quick test_auto_cut_dispatches_without_barriers;
+        tc "off by default" `Quick test_auto_cut_disabled_by_default;
+        tc "threshold validated" `Quick test_auto_cut_threshold_validated;
+        tc "manual barriers reset the counter" `Quick test_manual_barrier_resets_auto_counter;
+      ] );
+  ]
+
+let suite = suite @ auto_cut_suite

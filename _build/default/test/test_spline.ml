@@ -1,0 +1,184 @@
+(** Tests for the spline model and the backtracking line-search optimizer
+    (§5.1.3). *)
+
+open S4o_tensor
+module Sp = S4o_spline.Spline
+module Ls = S4o_spline.Line_search
+
+(* {1 Spline evaluation} *)
+
+let test_create_validation () =
+  Test_util.check_raises_any "too few knots" (fun () ->
+      Sp.create ~x_min:0.0 ~x_max:1.0 ~n_knots:3 ~init:0.0);
+  Test_util.check_raises_any "empty range" (fun () ->
+      Sp.create ~x_min:1.0 ~x_max:1.0 ~n_knots:8 ~init:0.0)
+
+let test_constant_spline () =
+  let s = Sp.create ~x_min:0.0 ~x_max:1.0 ~n_knots:8 ~init:3.5 in
+  List.iter
+    (fun x -> Test_util.check_close "constant everywhere" 3.5 (Sp.eval s x))
+    [ 0.0; 0.13; 0.5; 0.77; 1.0 ]
+
+let test_interpolates_knots () =
+  (* Catmull-Rom passes through its control points *)
+  let s = Sp.create ~x_min:0.0 ~x_max:1.0 ~n_knots:5 ~init:0.0 in
+  let s = { s with Sp.knots = [| 1.0; -2.0; 0.5; 3.0; -1.0 |] } in
+  Array.iteri
+    (fun i k ->
+      let x = float_of_int i /. 4.0 in
+      Test_util.check_close "passes through control point" k (Sp.eval s x))
+    s.Sp.knots
+
+let test_clamps_out_of_range () =
+  let s = Sp.create ~x_min:0.0 ~x_max:1.0 ~n_knots:5 ~init:0.0 in
+  let s = { s with Sp.knots = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] } in
+  Test_util.check_close "clamp low" (Sp.eval s 0.0) (Sp.eval s (-10.0));
+  Test_util.check_close "clamp high" (Sp.eval s 1.0) (Sp.eval s 10.0)
+
+let test_eval_rev_matches_eval () =
+  let module R = S4o_core.Reverse in
+  let s = Sp.create ~x_min:0.0 ~x_max:2.0 ~n_knots:6 ~init:0.0 in
+  let s = { s with Sp.knots = Array.init 6 (fun i -> Float.sin (float_of_int i)) } in
+  List.iter
+    (fun x ->
+      let v, _ =
+        R.grad
+          (fun knots -> Sp.eval_rev ~knots ~x_min:0.0 ~x_max:2.0 x)
+          s.Sp.knots
+      in
+      Test_util.check_close "rev primal = eval" (Sp.eval s x) v)
+    [ 0.1; 0.5; 1.0; 1.5; 1.9 ]
+
+let test_loss_grad_matches_finite_diff () =
+  let rng = Prng.create 3 in
+  let data = Sp.sample_global rng ~n:40 ~noise:0.1 in
+  let s = Sp.create ~x_min:0.0 ~x_max:3.0 ~n_knots:6 ~init:0.2 in
+  let _, grad = Sp.loss_grad s data in
+  let fd =
+    Test_util.finite_diff_grad
+      (fun knots -> Sp.loss { s with Sp.knots } data)
+      s.Sp.knots
+  in
+  Array.iteri
+    (fun i g -> Test_util.check_close ~eps:1e-4 "grad matches fd" fd.(i) g)
+    grad
+
+let test_tape_ops_positive () =
+  let rng = Prng.create 4 in
+  let data = Sp.sample_global rng ~n:10 ~noise:0.1 in
+  let s = Sp.create ~x_min:0.0 ~x_max:3.0 ~n_knots:5 ~init:0.0 in
+  Test_util.check_true "tape length measured" (Sp.tape_ops_per_eval s data > 10)
+
+(* {1 Line search} *)
+
+let quadratic x = ((x.(0) -. 3.0) ** 2.0) +. (2.0 *. ((x.(1) +. 1.0) ** 2.0))
+
+let quadratic_grad x =
+  (quadratic x, [| 2.0 *. (x.(0) -. 3.0); 4.0 *. (x.(1) +. 1.0) |])
+
+let test_line_search_quadratic () =
+  let solution, stats =
+    Ls.minimize ~f:quadratic ~f_grad:quadratic_grad [| 0.0; 0.0 |]
+  in
+  Test_util.check_true "converged" stats.Ls.converged;
+  Test_util.check_close ~eps:1e-3 "x*" 3.0 solution.(0);
+  Test_util.check_close ~eps:1e-3 "y*" (-1.0) solution.(1);
+  Test_util.check_true "loss near zero" (stats.Ls.final_loss < 1e-8)
+
+let test_line_search_monotone_descent () =
+  (* Armijo guarantees every accepted step decreases f *)
+  let history = ref [] in
+  let f x =
+    let v = quadratic x in
+    v
+  in
+  let f_grad x =
+    let v, g = quadratic_grad x in
+    history := v :: !history;
+    (v, g)
+  in
+  let _ = Ls.minimize ~f ~f_grad [| 10.0; -10.0 |] in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a <= b && decreasing rest
+    | _ -> true
+  in
+  (* history is reversed: later values first *)
+  Test_util.check_true "monotone decrease" (decreasing !history)
+
+let test_line_search_rosenbrock () =
+  let f x = ((1.0 -. x.(0)) ** 2.0) +. (100.0 *. ((x.(1) -. (x.(0) ** 2.0)) ** 2.0)) in
+  let f_grad x =
+    let a = 1.0 -. x.(0) and b = x.(1) -. (x.(0) ** 2.0) in
+    ( f x,
+      [| (-2.0 *. a) -. (400.0 *. x.(0) *. b); 200.0 *. b |] )
+  in
+  let config = { Ls.default_config with Ls.max_iterations = 20_000; grad_tolerance = 1e-4 } in
+  let solution, stats = Ls.minimize ~config ~f ~f_grad [| -1.2; 1.0 |] in
+  Test_util.check_true "rosenbrock converged" stats.Ls.converged;
+  Test_util.check_close ~eps:1e-2 "x* = 1" 1.0 solution.(0)
+
+let test_line_search_stats_counting () =
+  let fe = ref 0 and ge = ref 0 in
+  let f x =
+    incr fe;
+    quadratic x
+  in
+  let f_grad x =
+    incr ge;
+    quadratic_grad x
+  in
+  let _, stats = Ls.minimize ~f ~f_grad [| 0.0; 0.0 |] in
+  (* the optimizer itself calls f once per gradient eval too *)
+  Test_util.check_int "function evals counted" (!fe + !ge) stats.Ls.function_evals;
+  Test_util.check_int "gradient evals counted" !ge stats.Ls.gradient_evals
+
+let test_line_search_iteration_cap () =
+  let f x = x.(0) in
+  (* unbounded below *)
+  let f_grad x = (x.(0), [| 1.0 |]) in
+  let config = { Ls.default_config with Ls.max_iterations = 5 } in
+  let _, stats = Ls.minimize ~config ~f ~f_grad [| 0.0 |] in
+  Test_util.check_bool "did not claim convergence" false stats.Ls.converged;
+  Test_util.check_int "stopped at cap" 5 stats.Ls.iterations
+
+let test_spline_fit_end_to_end () =
+  (* fit a small spline to its own ground truth: loss must become tiny *)
+  let rng = Prng.create 6 in
+  let data = Sp.sample_global rng ~n:300 ~noise:0.01 in
+  let s = Sp.create ~x_min:0.0 ~x_max:3.0 ~n_knots:16 ~init:0.0 in
+  let final, stats =
+    Ls.minimize
+      ~config:{ Ls.default_config with Ls.max_iterations = 300; grad_tolerance = 1e-4 }
+      ~f:(fun knots -> Sp.loss { s with Sp.knots } data)
+      ~f_grad:(fun knots -> Sp.loss_grad { s with Sp.knots } data)
+      s.Sp.knots
+  in
+  Test_util.check_true "fits the curve" (stats.Ls.final_loss < 0.01);
+  (* the fitted spline tracks the generating curve *)
+  let fitted = { s with Sp.knots = final } in
+  Test_util.check_close ~eps:0.2 "tracks ground truth" (Sp.global_curve 1.5)
+    (Sp.eval fitted 1.5)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "spline.model",
+      [
+        tc "validation" `Quick test_create_validation;
+        tc "constant spline" `Quick test_constant_spline;
+        tc "interpolates control points" `Quick test_interpolates_knots;
+        tc "clamps out of range" `Quick test_clamps_out_of_range;
+        tc "eval_rev primal agrees" `Quick test_eval_rev_matches_eval;
+        tc "loss gradient vs finite diff" `Quick test_loss_grad_matches_finite_diff;
+        tc "tape instrumentation" `Quick test_tape_ops_positive;
+      ] );
+    ( "spline.line_search",
+      [
+        tc "quadratic converges" `Quick test_line_search_quadratic;
+        tc "monotone descent" `Quick test_line_search_monotone_descent;
+        tc "rosenbrock" `Slow test_line_search_rosenbrock;
+        tc "stats counting" `Quick test_line_search_stats_counting;
+        tc "iteration cap" `Quick test_line_search_iteration_cap;
+        tc "end-to-end spline fit" `Quick test_spline_fit_end_to_end;
+      ] );
+  ]

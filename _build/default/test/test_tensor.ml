@@ -1,0 +1,553 @@
+(** Tests for the tensor substrate: shapes, the PRNG, the naive Dense tensor
+    (§3.1), and the convolution/pooling kernels with their backward passes. *)
+
+open S4o_tensor
+module D = Dense
+
+(* {1 Shape} *)
+
+let test_shape_basics () =
+  Test_util.check_int "rank" 3 (Shape.rank [| 2; 3; 4 |]);
+  Test_util.check_int "numel" 24 (Shape.numel [| 2; 3; 4 |]);
+  Test_util.check_int "scalar numel" 1 (Shape.numel [||]);
+  Test_util.check_string "to_string" "[2x3x4]" (Shape.to_string [| 2; 3; 4 |]);
+  Test_util.check_string "scalar to_string" "[]" (Shape.to_string [||])
+
+let test_shape_strides () =
+  Test_util.check_true "row major strides"
+    (Shape.strides [| 2; 3; 4 |] = [| 12; 4; 1 |]);
+  Test_util.check_int "offset" (12 + 8 + 3)
+    (Shape.offset (Shape.strides [| 2; 3; 4 |]) [| 1; 2; 3 |]);
+  Test_util.check_true "unravel inverts offset"
+    (Shape.unravel [| 2; 3; 4 |] 23 = [| 1; 2; 3 |])
+
+let test_shape_broadcast () =
+  Test_util.check_true "equal shapes" (Shape.broadcast [| 2; 3 |] [| 2; 3 |] = [| 2; 3 |]);
+  Test_util.check_true "stretch ones" (Shape.broadcast [| 2; 1 |] [| 1; 3 |] = [| 2; 3 |]);
+  Test_util.check_true "rank extension" (Shape.broadcast [| 4; 2; 3 |] [| 3 |] = [| 4; 2; 3 |]);
+  Test_util.check_true "scalar broadcasts" (Shape.broadcast [||] [| 5; 5 |] = [| 5; 5 |]);
+  Test_util.check_raises_any "incompatible" (fun () -> Shape.broadcast [| 2 |] [| 3 |])
+
+let test_shape_reduce_axes () =
+  Test_util.check_true "drop axes" (Shape.reduce_axes [| 2; 3; 4 |] [ 0; 2 ] = [| 3 |]);
+  Test_util.check_true "keep dims"
+    (Shape.reduce_axes ~keep_dims:true [| 2; 3; 4 |] [ 1 ] = [| 2; 1; 4 |]);
+  Test_util.check_raises_any "out of range" (fun () ->
+      Shape.reduce_axes [| 2 |] [ 5 ]);
+  Test_util.check_raises_any "duplicate" (fun () ->
+      Shape.reduce_axes [| 2; 3 |] [ 1; 1 ])
+
+let test_shape_concat_dim () =
+  Test_util.check_true "concat axis 0"
+    (Shape.concat_dim [| 2; 3 |] [| 4; 3 |] 0 = [| 6; 3 |]);
+  Test_util.check_raises_any "mismatched other dim" (fun () ->
+      Shape.concat_dim [| 2; 3 |] [| 4; 5 |] 0)
+
+let qcheck_broadcast_commutes =
+  Test_util.qtest "broadcast is symmetric"
+    QCheck.(pair (list_of_size (Gen.int_range 0 3) (int_range 1 4))
+              (list_of_size (Gen.int_range 0 3) (int_range 1 4)))
+    (fun (a, b) ->
+      let a = Array.of_list a and b = Array.of_list b in
+      match (Shape.broadcast a b, Shape.broadcast b a) with
+      | x, y -> x = y
+      | exception Shape.Shape_error _ -> (
+          match Shape.broadcast b a with
+          | _ -> false
+          | exception Shape.Shape_error _ -> true))
+
+(* {1 Prng} *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 99 and b = Prng.create 99 in
+  for _ = 1 to 50 do
+    Test_util.check_float "same stream" (Prng.float a) (Prng.float b)
+  done
+
+let test_prng_int_range () =
+  let g = Prng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 7 in
+    Test_util.check_true "in range" (v >= 0 && v < 7)
+  done
+
+let test_prng_float_range () =
+  let g = Prng.create 2 in
+  for _ = 1 to 1000 do
+    let v = Prng.float g in
+    Test_util.check_true "unit interval" (v >= 0.0 && v < 1.0)
+  done
+
+let test_prng_normal_moments () =
+  let g = Prng.create 3 in
+  let n = 20_000 in
+  let samples = Array.init n (fun _ -> Prng.normal g) in
+  let mean = Array.fold_left ( +. ) 0.0 samples /. float_of_int n in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 samples
+    /. float_of_int n
+  in
+  Test_util.check_close ~eps:0.05 "mean ~ 0" 0.0 mean;
+  Test_util.check_close ~eps:0.05 "var ~ 1" 1.0 var
+
+let test_prng_permutation () =
+  let g = Prng.create 4 in
+  let p = Prng.permutation g 100 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Test_util.check_true "is a permutation" (sorted = Array.init 100 Fun.id)
+
+let test_prng_split_independent () =
+  let g = Prng.create 5 in
+  let h = Prng.split g in
+  Test_util.check_true "split streams differ"
+    (Array.init 10 (fun _ -> Prng.float g) <> Array.init 10 (fun _ -> Prng.float h))
+
+(* {1 Dense: construction and value semantics} *)
+
+let test_dense_create () =
+  Test_util.check_float "zeros" 0.0 (D.get (D.zeros [| 2; 2 |]) [| 1; 1 |]);
+  Test_util.check_float "ones" 1.0 (D.get (D.ones [| 2; 2 |]) [| 0; 1 |]);
+  Test_util.check_float "scalar item" 7.5 (D.item (D.scalar 7.5));
+  Test_util.check_raises_any "of_array length" (fun () ->
+      D.of_array [| 2; 2 |] [| 1.0 |])
+
+let test_dense_value_semantics () =
+  let a = D.of_array [| 3 |] [| 1.0; 2.0; 3.0 |] in
+  let b = D.set a [| 1 |] 99.0 in
+  Test_util.check_float "original untouched" 2.0 (D.get a [| 1 |]);
+  Test_util.check_float "copy updated" 99.0 (D.get b [| 1 |]);
+  let c = D.copy a in
+  D.fill_inplace c 0.0;
+  Test_util.check_float "copy is disjoint" 1.0 (D.get a [| 0 |])
+
+let test_dense_of_array_copies () =
+  let src = [| 1.0; 2.0 |] in
+  let t = D.of_array [| 2 |] src in
+  src.(0) <- 50.0;
+  Test_util.check_float "input buffer not aliased" 1.0 (D.get t [| 0 |])
+
+let test_dense_init () =
+  let t = D.init [| 2; 3 |] (fun idx -> float_of_int ((10 * idx.(0)) + idx.(1))) in
+  Test_util.check_float "init by index" 12.0 (D.get t [| 1; 2 |]);
+  let u = D.arange 5 in
+  Test_util.check_float "arange" 4.0 (D.get u [| 4 |]);
+  let l = D.linspace ~lo:0.0 ~hi:1.0 5 in
+  Test_util.check_close "linspace" 0.25 (D.get l [| 1 |])
+
+(* {1 Dense: elementwise and broadcasting} *)
+
+let test_dense_elementwise () =
+  let a = D.of_array [| 3 |] [| 1.0; -2.0; 3.0 |] in
+  let b = D.of_array [| 3 |] [| 4.0; 5.0; -6.0 |] in
+  Test_util.check_tensor "add" (D.of_array [| 3 |] [| 5.0; 3.0; -3.0 |]) (D.add a b);
+  Test_util.check_tensor "mul" (D.of_array [| 3 |] [| 4.0; -10.0; -18.0 |]) (D.mul a b);
+  Test_util.check_tensor "relu" (D.of_array [| 3 |] [| 1.0; 0.0; 3.0 |]) (D.relu a);
+  Test_util.check_tensor "neg" (D.of_array [| 3 |] [| -1.0; 2.0; -3.0 |]) (D.neg a);
+  Test_util.check_tensor "abs" (D.of_array [| 3 |] [| 1.0; 2.0; 3.0 |]) (D.abs a);
+  Test_util.check_tensor "sign" (D.of_array [| 3 |] [| 1.0; -1.0; 1.0 |]) (D.sign a);
+  Test_util.check_tensor "clip"
+    (D.of_array [| 3 |] [| 1.0; -1.0; 1.0 |])
+    (D.clip ~lo:(-1.0) ~hi:1.0 a)
+
+let test_dense_broadcast_binary () =
+  let a = D.of_array [| 2; 3 |] [| 1.; 2.; 3.; 4.; 5.; 6. |] in
+  let row = D.of_array [| 3 |] [| 10.; 20.; 30. |] in
+  let col = D.of_array [| 2; 1 |] [| 100.; 200. |] in
+  Test_util.check_tensor "matrix + row"
+    (D.of_array [| 2; 3 |] [| 11.; 22.; 33.; 14.; 25.; 36. |])
+    (D.add a row);
+  Test_util.check_tensor "matrix + col"
+    (D.of_array [| 2; 3 |] [| 101.; 102.; 103.; 204.; 205.; 206. |])
+    (D.add a col);
+  Test_util.check_tensor "scalar * matrix"
+    (D.scale 2.0 a)
+    (D.mul (D.scalar 2.0) a)
+
+let test_dense_broadcast_to_unbroadcast () =
+  let row = D.of_array [| 3 |] [| 1.; 2.; 3. |] in
+  let big = D.broadcast_to row [| 4; 3 |] in
+  Test_util.check_true "broadcast shape" (D.shape big = [| 4; 3 |]);
+  Test_util.check_float "broadcast value" 2.0 (D.get big [| 3; 1 |]);
+  (* unbroadcast sums the stretched axis: adjoint of broadcasting *)
+  Test_util.check_tensor "unbroadcast sums"
+    (D.of_array [| 3 |] [| 4.; 8.; 12. |])
+    (D.unbroadcast big [| 3 |])
+
+let qcheck_unbroadcast_adjoint =
+  (* <broadcast x, y> = <x, unbroadcast y> : the defining adjoint property *)
+  Test_util.qtest ~count:100 "unbroadcast is the adjoint of broadcast_to"
+    QCheck.(pair (int_range 1 4) (int_range 1 4))
+    (fun (rows, cols) ->
+      let g = Prng.create ((rows * 17) + cols) in
+      let x = D.rand_normal g [| cols |] in
+      let y = D.rand_normal g [| rows; cols |] in
+      let lhs = D.sum (D.mul (D.broadcast_to x [| rows; cols |]) y) in
+      let rhs = D.sum (D.mul x (D.unbroadcast y [| cols |])) in
+      Float.abs (lhs -. rhs) < 1e-9 *. Float.max 1.0 (Float.abs lhs))
+
+(* {1 Dense: reductions} *)
+
+let test_dense_reductions () =
+  let a = D.of_array [| 2; 3 |] [| 1.; 2.; 3.; 4.; 5.; 6. |] in
+  Test_util.check_float "sum" 21.0 (D.sum a);
+  Test_util.check_float "mean" 3.5 (D.mean a);
+  Test_util.check_float "max" 6.0 (D.max_value a);
+  Test_util.check_float "min" 1.0 (D.min_value a);
+  Test_util.check_tensor "sum axis 0"
+    (D.of_array [| 3 |] [| 5.; 7.; 9. |])
+    (D.sum_axes a [ 0 ]);
+  Test_util.check_tensor "sum axis 1"
+    (D.of_array [| 2 |] [| 6.; 15. |])
+    (D.sum_axes a [ 1 ]);
+  Test_util.check_tensor "sum both axes keep"
+    (D.of_array [| 1; 1 |] [| 21. |])
+    (D.sum_axes ~keep_dims:true a [ 0; 1 ]);
+  Test_util.check_tensor "mean axis"
+    (D.of_array [| 3 |] [| 2.5; 3.5; 4.5 |])
+    (D.mean_axes a [ 0 ])
+
+let test_dense_argmax_rows () =
+  let a = D.of_array [| 2; 3 |] [| 1.; 9.; 3.; 7.; 2.; 6. |] in
+  Test_util.check_true "argmax per row" (D.argmax_rows a = [| 1; 0 |])
+
+(* {1 Dense: shape ops} *)
+
+let test_dense_reshape_transpose () =
+  let a = D.of_array [| 2; 3 |] [| 1.; 2.; 3.; 4.; 5.; 6. |] in
+  let r = D.reshape a [| 3; 2 |] in
+  Test_util.check_float "reshape row-major" 3.0 (D.get r [| 1; 0 |]);
+  let t = D.transpose a in
+  Test_util.check_true "transpose shape" (D.shape t = [| 3; 2 |]);
+  Test_util.check_float "transpose value" 4.0 (D.get t [| 0; 1 |]);
+  Test_util.check_tensor "double transpose" a (D.transpose t)
+
+let test_dense_permute () =
+  let a = D.init [| 2; 3; 4 |] (fun i -> float_of_int ((100 * i.(0)) + (10 * i.(1)) + i.(2))) in
+  let p = D.permute a [| 2; 0; 1 |] in
+  Test_util.check_true "permute shape" (D.shape p = [| 4; 2; 3 |]);
+  Test_util.check_float "permute value" 123.0 (D.get p [| 3; 1; 2 |])
+
+let test_dense_concat_slice () =
+  let a = D.of_array [| 2; 2 |] [| 1.; 2.; 3.; 4. |] in
+  let b = D.of_array [| 1; 2 |] [| 5.; 6. |] in
+  let c = D.concat a b 0 in
+  Test_util.check_true "concat shape" (D.shape c = [| 3; 2 |]);
+  Test_util.check_float "concat tail" 6.0 (D.get c [| 2; 1 |]);
+  let s = D.slice c ~axis:0 ~start:1 ~len:2 in
+  Test_util.check_tensor "slice"
+    (D.of_array [| 2; 2 |] [| 3.; 4.; 5.; 6. |])
+    s;
+  Test_util.check_raises_any "slice bounds" (fun () ->
+      D.slice c ~axis:0 ~start:2 ~len:2)
+
+let test_dense_one_hot () =
+  let labels = D.of_array [| 3 |] [| 0.; 2.; 1. |] in
+  let oh = D.one_hot ~classes:3 labels in
+  Test_util.check_tensor "one hot"
+    (D.of_array [| 3; 3 |] [| 1.; 0.; 0.; 0.; 0.; 1.; 0.; 1.; 0. |])
+    oh;
+  Test_util.check_raises_any "label out of range" (fun () ->
+      D.one_hot ~classes:2 labels)
+
+(* {1 Dense: linear algebra} *)
+
+let test_dense_matmul () =
+  let a = D.of_array [| 2; 3 |] [| 1.; 2.; 3.; 4.; 5.; 6. |] in
+  let b = D.of_array [| 3; 2 |] [| 7.; 8.; 9.; 10.; 11.; 12. |] in
+  Test_util.check_tensor "matmul"
+    (D.of_array [| 2; 2 |] [| 58.; 64.; 139.; 154. |])
+    (D.matmul a b);
+  Test_util.check_raises_any "inner mismatch" (fun () -> D.matmul a a)
+
+let test_dense_dot () =
+  let a = D.of_array [| 3 |] [| 1.; 2.; 3. |] in
+  let b = D.of_array [| 3 |] [| 4.; 5.; 6. |] in
+  Test_util.check_float "dot" 32.0 (D.dot a b)
+
+let qcheck_matmul_associative =
+  Test_util.qtest ~count:50 "matmul is associative"
+    QCheck.(int_range 1 5)
+    (fun n ->
+      let g = Prng.create n in
+      let a = D.rand_normal g [| n; n |] in
+      let b = D.rand_normal g [| n; n |] in
+      let c = D.rand_normal g [| n; n |] in
+      D.allclose ~rtol:1e-6 ~atol:1e-9
+        (D.matmul (D.matmul a b) c)
+        (D.matmul a (D.matmul b c)))
+
+let qcheck_matmul_transpose =
+  Test_util.qtest ~count:50 "(AB)^T = B^T A^T"
+    QCheck.(pair (int_range 1 5) (int_range 1 5))
+    (fun (m, n) ->
+      let g = Prng.create ((m * 31) + n) in
+      let a = D.rand_normal g [| m; n |] in
+      let b = D.rand_normal g [| n; m |] in
+      D.allclose
+        (D.transpose (D.matmul a b))
+        (D.matmul (D.transpose b) (D.transpose a)))
+
+(* {1 Dense: NN math} *)
+
+let test_dense_softmax () =
+  let a = D.of_array [| 2; 3 |] [| 1.; 2.; 3.; 1000.; 1000.; 1000. |] in
+  let s = D.softmax a in
+  (* rows sum to one; the huge row checks numerical stability *)
+  Test_util.check_close "row 0 sums to 1" 1.0
+    (D.get s [| 0; 0 |] +. D.get s [| 0; 1 |] +. D.get s [| 0; 2 |]);
+  Test_util.check_close "stable uniform" (1.0 /. 3.0) (D.get s [| 1; 1 |]);
+  let ls = D.log_softmax a in
+  Test_util.check_close "log_softmax = log softmax" (Float.log (D.get s [| 0; 2 |]))
+    (D.get ls [| 0; 2 |])
+
+(* {1 In-place ops} *)
+
+let test_dense_inplace () =
+  let a = D.of_array [| 3 |] [| 1.; 2.; 3. |] in
+  let b = D.of_array [| 3 |] [| 10.; 10.; 10. |] in
+  D.axpy_inplace ~alpha:0.5 a b;
+  Test_util.check_tensor "axpy" (D.of_array [| 3 |] [| 6.; 7.; 8. |]) a;
+  D.scale_inplace a 2.0;
+  Test_util.check_tensor "scale_inplace" (D.of_array [| 3 |] [| 12.; 14.; 16. |]) a;
+  D.add_at_inplace a [| 0 |] 1.0;
+  Test_util.check_float "add_at" 13.0 (D.get a [| 0 |])
+
+(* {1 Convolution} *)
+
+let test_conv2d_identity_kernel () =
+  (* 1x1 identity filter: output = input *)
+  let g = Prng.create 10 in
+  let x = D.rand_normal g [| 1; 4; 4; 1 |] in
+  let f = D.of_array [| 1; 1; 1; 1 |] [| 1.0 |] in
+  Test_util.check_tensor "1x1 conv is identity"
+    x
+    (Convolution.conv2d ~padding:Convolution.Valid x f)
+
+let test_conv2d_known_values () =
+  (* 2x2 input, 2x2 all-ones filter, valid: single output = sum *)
+  let x = D.of_array [| 1; 2; 2; 1 |] [| 1.; 2.; 3.; 4. |] in
+  let f = D.ones [| 2; 2; 1; 1 |] in
+  let y = Convolution.conv2d ~padding:Convolution.Valid x f in
+  Test_util.check_true "valid output shape" (D.shape y = [| 1; 1; 1; 1 |]);
+  Test_util.check_float "sum under window" 10.0 (D.item y)
+
+let test_conv2d_same_padding_shape () =
+  let x = D.zeros [| 2; 7; 7; 3 |] in
+  let f = D.zeros [| 3; 3; 3; 5 |] in
+  let y = Convolution.conv2d ~padding:Convolution.Same x f in
+  Test_util.check_true "same keeps spatial" (D.shape y = [| 2; 7; 7; 5 |]);
+  let y2 = Convolution.conv2d ~stride:(2, 2) ~padding:Convolution.Same x f in
+  Test_util.check_true "same stride 2" (D.shape y2 = [| 2; 4; 4; 5 |])
+
+let test_conv2d_channels () =
+  (* input channels summed: filter [1;1;2;1] = [1;10] *)
+  let x = D.of_array [| 1; 1; 2; 2 |] [| 1.; 2.; 3.; 4. |] in
+  let f = D.of_array [| 1; 1; 2; 1 |] [| 1.; 10. |] in
+  let y = Convolution.conv2d ~padding:Convolution.Valid x f in
+  Test_util.check_tensor "channel mix"
+    (D.of_array [| 1; 1; 2; 1 |] [| 21.; 43. |])
+    y
+
+let conv_loss ~stride ~padding x f =
+  D.sum (D.mul (Convolution.conv2d ~stride ~padding x f)
+           (Convolution.conv2d ~stride ~padding x f))
+
+let test_conv2d_backward_input_finite_diff () =
+  let g = Prng.create 20 in
+  let x = D.rand_normal g [| 1; 5; 5; 2 |] in
+  let f = D.rand_normal g [| 3; 3; 2; 3 |] in
+  let stride = (2, 2) and padding = Convolution.Same in
+  let y = Convolution.conv2d ~stride ~padding x f in
+  (* loss = sum(y^2); dL/dx = conv_backward_input(f, 2y) *)
+  let grad = Convolution.conv2d_backward_input ~stride ~padding
+      ~input_shape:(D.shape x) f (D.scale 2.0 y) in
+  let h = 1e-4 in
+  (* check a handful of positions against central differences *)
+  List.iter
+    (fun idx ->
+      let xp = D.set x idx (D.get x idx +. h) in
+      let xm = D.set x idx (D.get x idx -. h) in
+      let fd = (conv_loss ~stride ~padding xp f -. conv_loss ~stride ~padding xm f) /. (2.0 *. h) in
+      Test_util.check_close ~eps:1e-2 "input grad matches fd" fd (D.get grad idx))
+    [ [| 0; 0; 0; 0 |]; [| 0; 2; 3; 1 |]; [| 0; 4; 4; 0 |]; [| 0; 1; 2; 1 |] ]
+
+let test_conv2d_backward_filter_finite_diff () =
+  let g = Prng.create 21 in
+  let x = D.rand_normal g [| 2; 4; 4; 1 |] in
+  let f = D.rand_normal g [| 3; 3; 1; 2 |] in
+  let stride = (1, 1) and padding = Convolution.Valid in
+  let y = Convolution.conv2d ~stride ~padding x f in
+  let grad = Convolution.conv2d_backward_filter ~stride ~padding
+      ~filter_shape:(D.shape f) x (D.scale 2.0 y) in
+  let h = 1e-4 in
+  List.iter
+    (fun idx ->
+      let fp = D.set f idx (D.get f idx +. h) in
+      let fm = D.set f idx (D.get f idx -. h) in
+      let fd = (conv_loss ~stride ~padding x fp -. conv_loss ~stride ~padding x fm) /. (2.0 *. h) in
+      Test_util.check_close ~eps:1e-2 "filter grad matches fd" fd (D.get grad idx))
+    [ [| 0; 0; 0; 0 |]; [| 1; 2; 0; 1 |]; [| 2; 1; 0; 0 |] ]
+
+let test_avg_pool () =
+  let x = D.of_array [| 1; 2; 2; 1 |] [| 1.; 2.; 3.; 4. |] in
+  let y = Convolution.avg_pool2d ~size:(2, 2) ~stride:(2, 2) x in
+  Test_util.check_float "avg pool" 2.5 (D.item y);
+  let back = Convolution.avg_pool2d_backward ~size:(2, 2) ~stride:(2, 2)
+      ~input_shape:[| 1; 2; 2; 1 |] (D.of_array [| 1; 1; 1; 1 |] [| 8.0 |]) in
+  Test_util.check_tensor "avg pool backward spreads evenly"
+    (D.of_array [| 1; 2; 2; 1 |] [| 2.; 2.; 2.; 2. |])
+    back
+
+let test_max_pool () =
+  let x = D.of_array [| 1; 2; 2; 1 |] [| 1.; 7.; 3.; 4. |] in
+  let y = Convolution.max_pool2d ~size:(2, 2) ~stride:(2, 2) x in
+  Test_util.check_float "max pool" 7.0 (D.item y);
+  let back = Convolution.max_pool2d_backward ~size:(2, 2) ~stride:(2, 2) x
+      (D.of_array [| 1; 1; 1; 1 |] [| 5.0 |]) in
+  Test_util.check_tensor "max pool backward routes to argmax"
+    (D.of_array [| 1; 2; 2; 1 |] [| 0.; 5.; 0.; 0. |])
+    back
+
+let test_conv2d_flops () =
+  (* [1;4;4;1] x [2;2;1;1] valid -> 3x3 output; 2*9*4 = 72 flops *)
+  Test_util.check_int "conv flops" 72
+    (Convolution.conv2d_flops ~padding:Convolution.Valid
+       ~input:[| 1; 4; 4; 1 |] [| 2; 2; 1; 1 |])
+
+let qcheck_conv_linear_in_input =
+  Test_util.qtest ~count:40 "conv2d is linear in the input"
+    QCheck.(int_range 1 4)
+    (fun seed ->
+      let g = Prng.create seed in
+      let x1 = D.rand_normal g [| 1; 4; 4; 2 |] in
+      let x2 = D.rand_normal g [| 1; 4; 4; 2 |] in
+      let f = D.rand_normal g [| 3; 3; 2; 2 |] in
+      let conv x = Convolution.conv2d ~padding:Convolution.Same x f in
+      D.allclose ~rtol:1e-5 ~atol:1e-7
+        (conv (D.add x1 x2))
+        (D.add (conv x1) (conv x2)))
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "tensor.shape",
+      [
+        tc "basics" `Quick test_shape_basics;
+        tc "strides and offsets" `Quick test_shape_strides;
+        tc "broadcast" `Quick test_shape_broadcast;
+        tc "reduce axes" `Quick test_shape_reduce_axes;
+        tc "concat dim" `Quick test_shape_concat_dim;
+        qcheck_broadcast_commutes;
+      ] );
+    ( "tensor.prng",
+      [
+        tc "deterministic" `Quick test_prng_deterministic;
+        tc "int range" `Quick test_prng_int_range;
+        tc "float range" `Quick test_prng_float_range;
+        tc "normal moments" `Quick test_prng_normal_moments;
+        tc "permutation" `Quick test_prng_permutation;
+        tc "split independence" `Quick test_prng_split_independent;
+      ] );
+    ( "tensor.dense",
+      [
+        tc "creation" `Quick test_dense_create;
+        tc "value semantics" `Quick test_dense_value_semantics;
+        tc "of_array copies" `Quick test_dense_of_array_copies;
+        tc "init / arange / linspace" `Quick test_dense_init;
+        tc "elementwise" `Quick test_dense_elementwise;
+        tc "broadcasting binary ops" `Quick test_dense_broadcast_binary;
+        tc "broadcast_to / unbroadcast" `Quick test_dense_broadcast_to_unbroadcast;
+        tc "reductions" `Quick test_dense_reductions;
+        tc "argmax rows" `Quick test_dense_argmax_rows;
+        tc "reshape / transpose" `Quick test_dense_reshape_transpose;
+        tc "permute" `Quick test_dense_permute;
+        tc "concat / slice" `Quick test_dense_concat_slice;
+        tc "one hot" `Quick test_dense_one_hot;
+        tc "matmul" `Quick test_dense_matmul;
+        tc "dot" `Quick test_dense_dot;
+        tc "softmax stability" `Quick test_dense_softmax;
+        tc "in-place ops" `Quick test_dense_inplace;
+        qcheck_unbroadcast_adjoint;
+        qcheck_matmul_associative;
+        qcheck_matmul_transpose;
+      ] );
+    ( "tensor.convolution",
+      [
+        tc "1x1 identity" `Quick test_conv2d_identity_kernel;
+        tc "known values" `Quick test_conv2d_known_values;
+        tc "same padding shapes" `Quick test_conv2d_same_padding_shape;
+        tc "channel mixing" `Quick test_conv2d_channels;
+        tc "backward input vs finite diff" `Quick test_conv2d_backward_input_finite_diff;
+        tc "backward filter vs finite diff" `Quick test_conv2d_backward_filter_finite_diff;
+        tc "avg pool fwd/bwd" `Quick test_avg_pool;
+        tc "max pool fwd/bwd" `Quick test_max_pool;
+        tc "flop counting" `Quick test_conv2d_flops;
+        qcheck_conv_linear_in_input;
+      ] );
+  ]
+
+(* {1 Batched linear algebra} *)
+
+let test_batch_matmul () =
+  let a = D.init [| 2; 2; 3 |] (fun i -> float_of_int ((i.(0) * 100) + (i.(1) * 10) + i.(2))) in
+  let b = D.init [| 2; 3; 2 |] (fun i -> float_of_int ((i.(0) * 100) + (i.(1) * 10) + i.(2))) in
+  let c = Dense.batch_matmul a b in
+  Test_util.check_true "output shape" (D.shape c = [| 2; 2; 2 |]);
+  (* each batch slice equals the 2-D matmul of the slices *)
+  for batch = 0 to 1 do
+    let slice2 t rows cols =
+      D.init_flat [| rows; cols |] (fun f -> D.get_flat t ((batch * rows * cols) + f))
+    in
+    let expected = D.matmul (slice2 a 2 3) (slice2 b 3 2) in
+    for i = 0 to 1 do
+      for j = 0 to 1 do
+        Test_util.check_float "per-batch matmul" (D.get expected [| i; j |])
+          (D.get c [| batch; i; j |])
+      done
+    done
+  done;
+  Test_util.check_raises_any "inner mismatch" (fun () -> Dense.batch_matmul a a)
+
+let test_batch_transpose () =
+  let a = D.init [| 2; 2; 3 |] (fun i -> float_of_int ((i.(0) * 100) + (i.(1) * 10) + i.(2))) in
+  let t = Dense.batch_transpose a in
+  Test_util.check_true "shape" (D.shape t = [| 2; 3; 2 |]);
+  Test_util.check_float "transposed entry" 112.0 (D.get t [| 1; 2; 1 |]);
+  Test_util.check_tensor "involution" a (Dense.batch_transpose t)
+
+let qcheck_batch_matmul_matches_loop =
+  Test_util.qtest ~count:40 "batch_matmul = per-slice matmul"
+    QCheck.(int_range 1 4)
+    (fun bs ->
+      let g = Prng.create (bs * 97) in
+      let a = D.rand_normal g [| bs; 3; 4 |] in
+      let b = D.rand_normal g [| bs; 4; 2 |] in
+      let c = Dense.batch_matmul a b in
+      let ok = ref true in
+      for batch = 0 to bs - 1 do
+        let sl t rows cols =
+          D.init_flat [| rows; cols |] (fun f -> D.get_flat t ((batch * rows * cols) + f))
+        in
+        let expected = D.matmul (sl a 3 4) (sl b 4 2) in
+        for i = 0 to 2 do
+          for j = 0 to 1 do
+            if Float.abs (D.get expected [| i; j |] -. D.get c [| batch; i; j |]) > 1e-9
+            then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let batch_suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "tensor.batched",
+      [
+        tc "batch matmul" `Quick test_batch_matmul;
+        tc "batch transpose" `Quick test_batch_transpose;
+        qcheck_batch_matmul_matches_loop;
+      ] );
+  ]
+
+let suite = suite @ batch_suite

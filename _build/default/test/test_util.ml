@@ -1,0 +1,40 @@
+(** Shared helpers for the test suites. *)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let check_close ?(eps = 1e-6) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_true msg b = Alcotest.(check bool) msg true b
+let check_string = Alcotest.(check string)
+
+let check_float_array ?(eps = 1e-6) msg expected actual =
+  Alcotest.(check (array (float eps))) msg expected actual
+
+let check_raises_any msg f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected an exception" msg
+  | exception _ -> ()
+
+(** Central finite difference of an [R^n -> R] function — the ground truth
+    for gradient checking. *)
+let finite_diff_grad ?(h = 1e-5) f (x : float array) =
+  Array.mapi
+    (fun i _ ->
+      let xp = Array.copy x and xm = Array.copy x in
+      xp.(i) <- x.(i) +. h;
+      xm.(i) <- x.(i) -. h;
+      (f xp -. f xm) /. (2.0 *. h))
+    x
+
+let tensor_testable =
+  Alcotest.testable S4o_tensor.Dense.pp (S4o_tensor.Dense.allclose ~rtol:1e-5 ~atol:1e-7)
+
+let check_tensor msg expected actual =
+  Alcotest.check tensor_testable msg expected actual
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)

@@ -1,0 +1,325 @@
+(** Tests for the XLA-style compiler: the HLO graph IR, trace fingerprints
+    (the program-cache key of §3.4), optimization passes, fusion (§3.3), and
+    compiled execution against direct evaluation. *)
+
+open S4o_tensor
+module Hlo = S4o_xla.Hlo
+module Opt = S4o_xla.Opt
+module Compiler = S4o_xla.Compiler
+module C = S4o_ops.Catalog
+
+let node_of_op (op : C.op) inputs =
+  Hlo.op ~name:op.C.name ~attrs:op.C.attrs ~shape:op.C.out_shape ~info:op.C.info
+    ~inputs ~kernel:op.C.kernel ()
+
+(* A small graph: (p0 + p1) * relu(p0 + p1), with the add shared. *)
+let build_shared_graph () =
+  let p0 = Hlo.param ~index:0 ~shape:[| 4 |] in
+  let p1 = Hlo.param ~index:1 ~shape:[| 4 |] in
+  let sum = node_of_op (C.add [| 4 |] [| 4 |]) [ p0; p1 ] in
+  let r = node_of_op (C.relu [| 4 |]) [ sum ] in
+  let out = node_of_op (C.mul [| 4 |] [| 4 |]) [ sum; r ] in
+  Hlo.graph_of_outputs [ out ]
+
+(* {1 Graph structure} *)
+
+let test_topo_order () =
+  let g = build_shared_graph () in
+  Test_util.check_int "node count" 5 (Hlo.size g);
+  (* every node appears after its inputs *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (n : Hlo.node) ->
+      List.iter
+        (fun (i : Hlo.node) ->
+          Test_util.check_true "input before use" (Hashtbl.mem seen i.Hlo.id))
+        n.Hlo.inputs;
+      Hashtbl.add seen n.Hlo.id ())
+    g.Hlo.nodes
+
+let test_params_ordered () =
+  let g = build_shared_graph () in
+  let ps = Hlo.params g in
+  Test_util.check_int "two params" 2 (List.length ps)
+
+let test_fingerprint_id_invariant () =
+  (* the same structure built twice (fresh node ids) fingerprints equal *)
+  let fp1 = Hlo.fingerprint (build_shared_graph ()) in
+  let fp2 = Hlo.fingerprint (build_shared_graph ()) in
+  Test_util.check_int "structure-only fingerprint" fp1 fp2
+
+let test_fingerprint_sensitive_to_attrs () =
+  let build c =
+    let p = Hlo.param ~index:0 ~shape:[| 4 |] in
+    Hlo.graph_of_outputs [ node_of_op (C.scale c [| 4 |]) [ p ] ]
+  in
+  Test_util.check_true "different constant, different fingerprint"
+    (Hlo.fingerprint (build 1.0) <> Hlo.fingerprint (build 2.0))
+
+let test_fingerprint_sensitive_to_shape () =
+  let build n =
+    let p = Hlo.param ~index:0 ~shape:[| n |] in
+    Hlo.graph_of_outputs [ node_of_op (C.relu [| n |]) [ p ] ]
+  in
+  Test_util.check_true "shape change recompiles (S3.4)"
+    (Hlo.fingerprint (build 4) <> Hlo.fingerprint (build 8))
+
+let test_dot_rendering () =
+  let g = build_shared_graph () in
+  let dot = Hlo.to_dot g in
+  Test_util.check_true "digraph header" (String.length dot > 10);
+  Test_util.check_true "has edges"
+    (String.split_on_char '\n' dot
+    |> List.exists (fun l -> String.length l > 4 && String.contains l '>'))
+
+(* {1 Passes} *)
+
+let test_cse_merges_duplicates () =
+  let p0 = Hlo.param ~index:0 ~shape:[| 4 |] in
+  let a1 = node_of_op (C.relu [| 4 |]) [ p0 ] in
+  let a2 = node_of_op (C.relu [| 4 |]) [ p0 ] in
+  let out = node_of_op (C.add [| 4 |] [| 4 |]) [ a1; a2 ] in
+  let g = Hlo.graph_of_outputs [ out ] in
+  Test_util.check_int "before" 4 (Hlo.size g);
+  let g' = Opt.cse g in
+  Test_util.check_int "after cse" 3 (Hlo.size g')
+
+let test_constant_folding () =
+  let l1 = Hlo.literal (Dense.of_array [| 2 |] [| 1.0; 2.0 |]) in
+  let l2 = Hlo.literal (Dense.of_array [| 2 |] [| 10.0; 20.0 |]) in
+  let s = node_of_op (C.add [| 2 |] [| 2 |]) [ l1; l2 ] in
+  let p = Hlo.param ~index:0 ~shape:[| 2 |] in
+  let out = node_of_op (C.mul [| 2 |] [| 2 |]) [ s; p ] in
+  let g = Opt.constant_fold (Hlo.graph_of_outputs [ out ]) in
+  let folded =
+    List.exists
+      (fun (n : Hlo.node) ->
+        match n.Hlo.role with
+        | Hlo.Literal v -> Dense.equal v (Dense.of_array [| 2 |] [| 11.0; 22.0 |])
+        | _ -> false)
+      g.Hlo.nodes
+  in
+  Test_util.check_true "sum folded to literal" folded
+
+let test_optimize_preserves_semantics () =
+  let g = build_shared_graph () in
+  let g', _stats = Opt.optimize g in
+  let engine = S4o_device.Engine.create S4o_device.Device_spec.desktop_cpu in
+  let feeds = [| Dense.of_array [| 4 |] [| 1.; -2.; 3.; -4. |];
+                 Dense.of_array [| 4 |] [| 0.5; 0.5; -9.0; 5.0 |] |] in
+  let run g = (Compiler.run (Compiler.compile g) engine feeds).(0) in
+  Test_util.check_tensor "optimized = original" (run g) (run g')
+
+(* {1 Fusion} *)
+
+let test_fusion_chains () =
+  (* conv -> add-bias -> relu should be one cluster *)
+  let x = Hlo.param ~index:0 ~shape:[| 1; 8; 8; 3 |] in
+  let f = Hlo.param ~index:1 ~shape:[| 3; 3; 3; 4 |] in
+  let b = Hlo.param ~index:2 ~shape:[| 4 |] in
+  let conv =
+    node_of_op (C.conv2d ~padding:Convolution.Same [| 1; 8; 8; 3 |] [| 3; 3; 3; 4 |]) [ x; f ]
+  in
+  let biased = node_of_op (C.add [| 1; 8; 8; 4 |] [| 4 |]) [ conv; b ] in
+  let act = node_of_op (C.relu [| 1; 8; 8; 4 |]) [ biased ] in
+  let g = Hlo.graph_of_outputs [ act ] in
+  let clusters = Opt.fuse g in
+  Test_util.check_int "single fused kernel" 1 (List.length clusters);
+  match clusters with
+  | [ c ] ->
+      Test_util.check_int "three members" 3 (List.length c.Opt.members);
+      Test_util.check_true "fused kind"
+        (match c.Opt.info.S4o_device.Op_info.kind with
+        | S4o_device.Op_info.Fused 3 -> true
+        | _ -> false)
+  | _ -> Alcotest.fail "expected one cluster"
+
+let test_fusion_two_contractions_not_merged () =
+  let x = Hlo.param ~index:0 ~shape:[| 4; 4 |] in
+  let w1 = Hlo.param ~index:1 ~shape:[| 4; 4 |] in
+  let w2 = Hlo.param ~index:2 ~shape:[| 4; 4 |] in
+  let m1 = node_of_op (C.matmul [| 4; 4 |] [| 4; 4 |]) [ x; w1 ] in
+  let m2 = node_of_op (C.matmul [| 4; 4 |] [| 4; 4 |]) [ m1; w2 ] in
+  let g = Hlo.graph_of_outputs [ m2 ] in
+  Test_util.check_int "two clusters" 2 (List.length (Opt.fuse g))
+
+let test_fusion_saves_memory_traffic () =
+  let x = Hlo.param ~index:0 ~shape:[| 1024 |] in
+  let a = node_of_op (C.relu [| 1024 |]) [ x ] in
+  let b = node_of_op (C.exp [| 1024 |]) [ a ] in
+  let c = node_of_op (C.sqrt [| 1024 |]) [ b ] in
+  let g = Hlo.graph_of_outputs [ c ] in
+  let clusters = Opt.fuse g in
+  Test_util.check_int "one cluster" 1 (List.length clusters);
+  let info = (List.hd clusters).Opt.info in
+  (* external traffic: read x once, write c once — intermediates free *)
+  Test_util.check_int "external in" 4096 info.S4o_device.Op_info.bytes_in;
+  Test_util.check_int "external out" 4096 info.S4o_device.Op_info.bytes_out
+
+let test_fusion_schedulable_in_order () =
+  (* the residual diamond: relu(bn(conv(x))) + shortcut(x); execution in
+     cluster order must produce correct values (acyclicity regression test) *)
+  let x = Hlo.param ~index:0 ~shape:[| 2; 2 |] in
+  let w = Hlo.param ~index:1 ~shape:[| 2; 2 |] in
+  let m = node_of_op (C.matmul [| 2; 2 |] [| 2; 2 |]) [ x; w ] in
+  let r = node_of_op (C.relu [| 2; 2 |]) [ m ] in
+  let skip = node_of_op (C.scale 2.0 [| 2; 2 |]) [ x ] in
+  let out = node_of_op (C.add [| 2; 2 |] [| 2; 2 |]) [ r; skip ] in
+  let g = Hlo.graph_of_outputs [ out ] in
+  let engine = S4o_device.Engine.create S4o_device.Device_spec.desktop_cpu in
+  let xs = Dense.of_array [| 2; 2 |] [| 1.; 2.; 3.; 4. |] in
+  let ws = Dense.of_array [| 2; 2 |] [| 1.; 0.; 0.; 1. |] in
+  let result = (Compiler.run (Compiler.compile g) engine [| xs; ws |]).(0) in
+  Test_util.check_tensor "relu(x) + 2x"
+    (Dense.add (Dense.relu xs) (Dense.scale 2.0 xs))
+    result
+
+(* {1 Compilation and execution} *)
+
+let test_compile_stats_and_cost () =
+  let engine = S4o_device.Engine.create S4o_device.Device_spec.desktop_cpu in
+  let g = build_shared_graph () in
+  let before = S4o_device.Engine.host_time engine in
+  let exe = Compiler.compile ~engine g in
+  let stats = Compiler.stats exe in
+  Test_util.check_int "input nodes" 5 stats.Compiler.input_nodes;
+  Test_util.check_true "compile charged to host"
+    (S4o_device.Engine.host_time engine > before);
+  Test_util.check_close "compile seconds consistent"
+    (S4o_device.Engine.host_time engine -. before)
+    stats.Compiler.compile_seconds
+
+let test_run_matches_direct_eval () =
+  let g = build_shared_graph () in
+  let exe = Compiler.compile g in
+  let engine = S4o_device.Engine.create S4o_device.Device_spec.desktop_cpu in
+  let a = Dense.of_array [| 4 |] [| 1.; -2.; 3.; -4. |] in
+  let b = Dense.of_array [| 4 |] [| 0.5; 1.5; -1.0; 6.0 |] in
+  let out = (Compiler.run exe engine [| a; b |]).(0) in
+  let sum = Dense.add a b in
+  Test_util.check_tensor "compiled = direct" (Dense.mul sum (Dense.relu sum)) out
+
+let test_run_dispatches_kernels () =
+  let g = build_shared_graph () in
+  let exe = Compiler.compile g in
+  let engine = S4o_device.Engine.create S4o_device.Device_spec.desktop_cpu in
+  let _ = Compiler.run exe engine [| Dense.zeros [| 4 |]; Dense.zeros [| 4 |] |] in
+  Test_util.check_true "kernels launched" (S4o_device.Engine.kernels_launched engine > 0)
+
+let test_simulate_only_advances_clock () =
+  let g = build_shared_graph () in
+  let exe = Compiler.compile g in
+  let engine = S4o_device.Engine.create S4o_device.Device_spec.desktop_cpu in
+  Compiler.simulate exe engine;
+  Test_util.check_true "device time advanced"
+    (S4o_device.Engine.device_ready_at engine > 0.0)
+
+let test_estimated_run_time_positive () =
+  let exe = Compiler.compile (build_shared_graph ()) in
+  Test_util.check_true "positive estimate"
+    (Compiler.estimated_run_time S4o_device.Device_spec.gtx1080 exe > 0.0)
+
+let test_feed_arity_checked () =
+  let exe = Compiler.compile (build_shared_graph ()) in
+  let engine = S4o_device.Engine.create S4o_device.Device_spec.desktop_cpu in
+  Test_util.check_raises_any "missing feeds" (fun () ->
+      Compiler.run exe engine [| Dense.zeros [| 4 |] |])
+
+(* {1 Memory model (S4.2's input-output aliasing)} *)
+
+let test_peak_memory_donation () =
+  (* out = w - p1 (an "updated parameters" shape): donating w should save
+     one w-sized buffer at the peak *)
+  let w = Hlo.param ~index:0 ~shape:[| 1024 |] in
+  let gpar = Hlo.param ~index:1 ~shape:[| 1024 |] in
+  let upd = node_of_op (C.sub [| 1024 |] [| 1024 |]) [ w; gpar ] in
+  let exe = Compiler.compile (Hlo.graph_of_outputs [ upd ]) in
+  let plain = Compiler.peak_memory exe in
+  let donated = Compiler.peak_memory ~donated:[ 0 ] exe in
+  Test_util.check_int "donation saves one buffer" (plain - 4096) donated
+
+let qcheck_compiled_equals_direct =
+  (* random elementwise DAGs: the compiler pipeline must preserve semantics *)
+  Test_util.qtest ~count:60 "compiled execution = reference evaluation"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 8 in
+      let p0 = Hlo.param ~index:0 ~shape:[| n |] in
+      let p1 = Hlo.param ~index:1 ~shape:[| n |] in
+      (* grow a random DAG of ~6 unary/binary ops *)
+      let nodes = ref [ p0; p1 ] in
+      for _ = 1 to 6 do
+        let pick () = List.nth !nodes (Prng.int rng (List.length !nodes)) in
+        let next =
+          match Prng.int rng 4 with
+          | 0 -> node_of_op (C.add [| n |] [| n |]) [ pick (); pick () ]
+          | 1 -> node_of_op (C.mul [| n |] [| n |]) [ pick (); pick () ]
+          | 2 -> node_of_op (C.relu [| n |]) [ pick () ]
+          | _ -> node_of_op (C.tanh [| n |]) [ pick () ]
+        in
+        nodes := next :: !nodes
+      done;
+      let out = List.hd !nodes in
+      let g = Hlo.graph_of_outputs [ out ] in
+      let a = Dense.rand_normal rng [| n |] in
+      let b = Dense.rand_normal rng [| n |] in
+      let engine = S4o_device.Engine.create S4o_device.Device_spec.desktop_cpu in
+      let compiled = (Compiler.run (Compiler.compile g) engine [| a; b |]).(0) in
+      (* direct reference evaluation over the same graph *)
+      let values = Hashtbl.create 16 in
+      List.iter
+        (fun (node : Hlo.node) ->
+          let v =
+            match node.Hlo.role with
+            | Hlo.Param 0 -> a
+            | Hlo.Param _ -> b
+            | Hlo.Literal v -> v
+            | Hlo.Compute ->
+                node.Hlo.kernel
+                  (Array.of_list
+                     (List.map
+                        (fun (i : Hlo.node) -> Hashtbl.find values i.Hlo.id)
+                        node.Hlo.inputs))
+          in
+          Hashtbl.replace values node.Hlo.id v)
+        g.Hlo.nodes;
+      Dense.equal compiled (Hashtbl.find values out.Hlo.id))
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "xla.hlo",
+      [
+        tc "topological order" `Quick test_topo_order;
+        tc "params ordered" `Quick test_params_ordered;
+        tc "fingerprint ignores node ids" `Quick test_fingerprint_id_invariant;
+        tc "fingerprint sees attrs" `Quick test_fingerprint_sensitive_to_attrs;
+        tc "fingerprint sees shapes" `Quick test_fingerprint_sensitive_to_shape;
+        tc "dot rendering" `Quick test_dot_rendering;
+      ] );
+    ( "xla.passes",
+      [
+        tc "cse merges" `Quick test_cse_merges_duplicates;
+        tc "constant folding" `Quick test_constant_folding;
+        tc "optimize preserves semantics" `Quick test_optimize_preserves_semantics;
+      ] );
+    ( "xla.fusion",
+      [
+        tc "conv-bias-relu chain fuses" `Quick test_fusion_chains;
+        tc "contractions stay separate" `Quick test_fusion_two_contractions_not_merged;
+        tc "fusion saves memory traffic" `Quick test_fusion_saves_memory_traffic;
+        tc "residual diamond schedulable" `Quick test_fusion_schedulable_in_order;
+      ] );
+    ( "xla.compiler",
+      [
+        tc "compile stats and cost" `Quick test_compile_stats_and_cost;
+        tc "run matches direct eval" `Quick test_run_matches_direct_eval;
+        tc "run dispatches kernels" `Quick test_run_dispatches_kernels;
+        tc "simulate advances clock only" `Quick test_simulate_only_advances_clock;
+        tc "estimated run time" `Quick test_estimated_run_time_positive;
+        tc "feed arity checked" `Quick test_feed_arity_checked;
+        tc "peak memory with donation" `Quick test_peak_memory_donation;
+        qcheck_compiled_equals_direct;
+      ] );
+  ]
