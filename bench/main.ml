@@ -403,9 +403,7 @@ let ablation_autocut () =
        own; without it, each step only executes when the loss is observed. *)
     let _ = T.fit ~epochs:1 model opt batches in
     let st = S4o_lazy.Lazy_runtime.stats rt in
-    ( st,
-      S4o_lazy.Lazy_runtime.auto_cuts rt,
-      S4o_device.Engine.host_time engine )
+    (st, st.S4o_lazy.Lazy_runtime.auto_cuts, S4o_device.Engine.host_time engine)
   in
   let rows =
     List.map
@@ -622,6 +620,81 @@ let ablation_dp () =
      single-device training to rounding; the pod-scale *cost* of the same \
      pattern is what Table 1's cluster model prices."
 
+(* ------------------------------------------- observability timeline dump *)
+
+let trace_out : string option ref = ref None
+
+(* One real LeNet training step on each accelerated runtime, reported
+   through the unified S4o_obs.Stats.t surface; with [--trace-out FILE], the
+   two simulated timelines are exported side by side as one Chrome trace
+   (host dispatch spans overlapping device kernel spans). *)
+let timeline () =
+  let batch_of rng =
+    let data = S4o_data.Dataset.synthetic_mnist rng ~n:32 in
+    S4o_data.Dataset.batches data ~batch_size:32
+  in
+  let train (type bk)
+      (module Bk : S4o_tensor.Backend_intf.S with type t = bk)
+      ~(after_step : bk list -> unit) =
+    let module M = S4o_nn.Models.Make (Bk) in
+    let module T = S4o_nn.Train.Make (Bk) in
+    let module O = S4o_nn.Optimizer.Make (Bk) in
+    let rng = S4o_tensor.Prng.create 3 in
+    let batches = batch_of rng in
+    let model = M.lenet rng in
+    let opt = O.sgd ~lr:0.05 model in
+    ignore (T.fit ~epochs:1 ~after_step model opt batches)
+  in
+  let eager_engine = S4o_device.Engine.create Spec.gtx1080 in
+  let eager_rt = S4o_eager.Runtime.create eager_engine in
+  let module Ebk = S4o_eager.Eager_backend.Make (struct
+    let rt = eager_rt
+  end) in
+  train (module Ebk) ~after_step:(fun _ -> ());
+  let lazy_engine = S4o_device.Engine.create Spec.gtx1080 in
+  let lazy_rt = S4o_lazy.Lazy_runtime.create lazy_engine in
+  let module Lbk = S4o_lazy.Lazy_backend.Make (struct
+    let rt = lazy_rt
+  end) in
+  train (module Lbk) ~after_step:(fun ts -> Lbk.barrier ts);
+  Report.stats_table
+    ~title:
+      "Observability: LeNet training step, unified runtime stats \
+       (S4o_obs.Stats.t)"
+    [
+      ("eager", S4o_eager.Runtime.stats eager_rt);
+      ("lazy", S4o_lazy.Lazy_runtime.stats lazy_rt);
+    ];
+  match !trace_out with
+  | None ->
+      Report.note
+        "  pass --trace-out FILE to export both timelines as a Chrome trace."
+  | Some path -> (
+      let processes =
+        [
+          ("eager runtime", S4o_device.Engine.recorder eager_engine);
+          ("lazy runtime", S4o_device.Engine.recorder lazy_engine);
+        ]
+      in
+      match S4o_obs.Chrome_trace.processes_to_file path processes with
+      | exception Sys_error msg ->
+          Printf.eprintf "error: cannot write trace: %s\n" msg;
+          exit 1
+      | () -> (
+          let contents =
+            let ic = open_in path in
+            let s = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            s
+          in
+          match S4o_obs.Chrome_trace.validate contents with
+          | Ok n ->
+              Report.note
+                "  Chrome trace with %d events written to %s (load in \
+                 chrome://tracing or ui.perfetto.dev)."
+                n path
+          | Error msg -> Printf.ksprintf failwith "invalid Chrome trace: %s" msg))
+
 (* -------------------------------------------------- Bechamel microbench *)
 
 let micro () =
@@ -752,14 +825,29 @@ let sections =
     ("ablation-pipeline", ablation_pipeline);
     ("ablation-static", ablation_static);
     ("ablation-dp", ablation_dp);
+    ("timeline", timeline);
     ("micro", micro);
   ]
 
 let () =
+  (* Peel off [--trace-out FILE] (used by the [timeline] section) before
+     dispatching on section names. *)
+  let rec parse_args acc = function
+    | [] -> List.rev acc
+    | "--trace-out" :: path :: rest ->
+        trace_out := Some path;
+        parse_args acc rest
+    | "--trace-out" :: [] ->
+        prerr_endline "--trace-out requires a file argument";
+        exit 1
+    | name :: rest -> parse_args (name :: acc) rest
+  in
+  let names = parse_args [] (List.tl (Array.to_list Sys.argv)) in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst sections
+    match names with
+    | [] when !trace_out <> None -> [ "timeline" ]
+    | [] -> List.map fst sections
+    | names -> names
   in
   List.iter
     (fun name ->

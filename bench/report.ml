@@ -31,3 +31,23 @@ let note fmt = Printf.printf (fmt ^^ "\n")
 
 let ratio_cell ~paper ~measured =
   Printf.sprintf "%.2fx" (measured /. paper)
+
+(** Render unified runtime snapshots side by side: one metric column plus
+    one value column per (workload, stats) pair, zero rows elided when every
+    column agrees they are zero. *)
+let stats_table ~title columns =
+  let rowsets = List.map (fun (_, st) -> S4o_obs.Stats.rows st) columns in
+  let labels = List.map fst (List.hd rowsets) in
+  let is_zero v = v = "0" || v = "0.000 ms" in
+  let rows =
+    List.filteri
+      (fun i _ ->
+        List.exists (fun rows -> not (is_zero (snd (List.nth rows i)))) rowsets)
+      labels
+    |> List.map (fun label ->
+           label
+           :: List.map
+                (fun rows -> snd (List.find (fun (l, _) -> l = label) rows))
+                rowsets)
+  in
+  table ~title ~headers:("metric" :: List.map fst columns) ~rows

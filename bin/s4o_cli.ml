@@ -45,14 +45,46 @@ let train_with (type bk) (module Bk : S4o_tensor.Backend_intf.S with type t = bk
   Printf.printf "final training accuracy: %.1f%%\n" (100.0 *. stats.T.accuracy);
   report ()
 
-let run_train backend model_name epochs batch_size n lr seed =
+(* Unified post-training report: the same S4o_obs.Stats.t table for both
+   accelerated runtimes, plus an optional Chrome-trace export of the
+   engine's recorded timeline. *)
+let report_observability ~runtime_name ~engine ~stats trace_out =
+  Printf.printf "%s runtime stats (S4o_obs.Stats.t):\n%!" runtime_name;
+  Format.printf "%a%!" S4o_obs.Stats.pp stats;
+  match trace_out with
+  | None -> ()
+  | Some path -> (
+      let recorder = S4o_device.Engine.recorder engine in
+      match
+        S4o_obs.Chrome_trace.to_file ~process:(runtime_name ^ " runtime") path
+          recorder
+      with
+      | exception Sys_error msg ->
+          Printf.eprintf "error: cannot write trace: %s\n" msg;
+          exit 1
+      | () -> (
+          match
+            S4o_obs.Chrome_trace.validate (S4o_obs.Chrome_trace.to_string recorder)
+          with
+          | Ok n ->
+              Printf.printf
+                "Chrome trace with %d events written to %s (load in \
+                 chrome://tracing or ui.perfetto.dev)\n"
+                n path
+          | Error msg -> Printf.eprintf "internal error: bad trace export: %s\n" msg))
+
+let run_train backend model_name epochs batch_size n lr seed trace_out =
   match backend with
   | Naive ->
       train_with
         (module S4o_tensor.Naive_backend)
         ~after_step:(fun _ -> ())
         ~model_name ~epochs ~batch_size ~n ~lr ~seed
-        ~report:(fun () -> ())
+        ~report:(fun () ->
+          if trace_out <> None then
+            prerr_endline
+              "note: --trace-out needs a simulated runtime; use --backend \
+               eager or lazy")
   | Eager ->
       let engine = S4o_device.Engine.create S4o_device.Device_spec.gtx1080 in
       let rt = S4o_eager.Runtime.create engine in
@@ -64,12 +96,8 @@ let run_train backend model_name epochs batch_size n lr seed =
         ~after_step:(fun _ -> ())
         ~model_name ~epochs ~batch_size ~n ~lr ~seed
         ~report:(fun () ->
-          Printf.printf
-            "eager runtime: %d ops dispatched, simulated host %.3fs, device \
-             busy %.3fs\n"
-            (S4o_eager.Runtime.ops_dispatched rt)
-            (S4o_eager.Runtime.host_time rt)
-            (S4o_device.Engine.device_busy_time engine))
+          report_observability ~runtime_name:"eager" ~engine
+            ~stats:(S4o_eager.Runtime.stats rt) trace_out)
   | Lazy ->
       let engine = S4o_device.Engine.create S4o_device.Device_spec.gtx1080 in
       let rt = S4o_lazy.Lazy_runtime.create engine in
@@ -81,14 +109,8 @@ let run_train backend model_name epochs batch_size n lr seed =
         ~after_step:(fun ts -> Bk.barrier ts)
         ~model_name ~epochs ~batch_size ~n ~lr ~seed
         ~report:(fun () ->
-          let st = S4o_lazy.Lazy_runtime.stats rt in
-          Printf.printf
-            "lazy runtime: %d traces, %d compiles, %d cache hits, simulated \
-             host %.3fs\n"
-            st.S4o_lazy.Lazy_runtime.traces_cut
-            st.S4o_lazy.Lazy_runtime.cache_misses
-            st.S4o_lazy.Lazy_runtime.cache_hits
-            (S4o_device.Engine.host_time engine))
+          report_observability ~runtime_name:"lazy" ~engine
+            ~stats:(S4o_lazy.Lazy_runtime.stats rt) trace_out)
 
 let backend_conv =
   Arg.enum [ ("naive", Naive); ("eager", Eager); ("lazy", Lazy) ]
@@ -105,9 +127,18 @@ let train_cmd =
   let n = Arg.(value & opt int 256 & info [ "examples" ]) in
   let lr = Arg.(value & opt float 1e-3 & info [ "lr" ]) in
   let seed = Arg.(value & opt int 42 & info [ "seed" ]) in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ]
+          ~doc:"Write the simulated timeline as Chrome trace-event JSON")
+  in
   Cmd.v
     (Cmd.info "train" ~doc:"Train a model on a synthetic dataset")
-    Term.(const run_train $ backend $ model $ epochs $ batch $ n $ lr $ seed)
+    Term.(
+      const run_train $ backend $ model $ epochs $ batch $ n $ lr $ seed
+      $ trace_out)
 
 (* ------------------------------------------------------------------ trace *)
 

@@ -1,41 +1,79 @@
+module Recorder = S4o_obs.Recorder
+module Metrics = S4o_obs.Metrics
+
 type t = {
   spec : Device_spec.t;
+  recorder : Recorder.t;
+  metrics : Metrics.t;
+  depth_hist : Metrics.histogram;
   mutable host : float;
   mutable device_ready : float;
   mutable kernels : int;
   mutable busy : float;
   mutable stalled : float;
+  mutable max_depth : float;
   mutable live : int;
   mutable peak : int;
 }
 
-let create spec =
+let create ?recorder spec =
+  let recorder =
+    match recorder with Some r -> r | None -> Recorder.create ()
+  in
+  let metrics = Metrics.create () in
   {
     spec;
+    recorder;
+    metrics;
+    depth_hist = Metrics.histogram metrics "engine.pipeline_depth_seconds";
     host = 0.0;
     device_ready = 0.0;
     kernels = 0;
     busy = 0.0;
     stalled = 0.0;
+    max_depth = 0.0;
     live = 0;
     peak = 0;
   }
 
 let spec t = t.spec
+let recorder t = t.recorder
+let metrics t = t.metrics
 let host_time t = t.host
 let device_ready_at t = t.device_ready
 let spend_host t dt = t.host <- t.host +. dt
 
-let dispatch t op =
+let with_host_span t ?cat ?args name f =
+  let sp = Recorder.begin_span t.recorder Recorder.Host ?cat ?args name ~at:t.host in
+  let r = f () in
+  Recorder.end_span t.recorder sp ~at:t.host;
+  r
+
+let dispatch t (op : Op_info.t) =
   let time = Device_spec.kernel_time t.spec op in
   let start = Float.max t.host t.device_ready in
   t.device_ready <- start +. time;
   t.kernels <- t.kernels + 1;
   t.busy <- t.busy +. time;
+  let depth = t.device_ready -. t.host in
+  if depth > t.max_depth then t.max_depth <- depth;
+  Metrics.observe t.depth_hist depth;
+  Recorder.span t.recorder Recorder.Device ~cat:"kernel"
+    ~args:
+      [
+        ("kind", Op_info.kind_name op.kind);
+        ("flops", string_of_int op.flops);
+        ("bytes_in", string_of_int op.bytes_in);
+        ("bytes_out", string_of_int op.bytes_out);
+      ]
+    op.name ~start ~finish:t.device_ready;
+  Recorder.counter t.recorder Recorder.Device "pipeline_depth" ~at:t.host depth;
   t.device_ready
 
 let sync t =
   if t.device_ready > t.host then begin
+    Recorder.span t.recorder Recorder.Host ~cat:"stall" "sync" ~start:t.host
+      ~finish:t.device_ready;
     t.stalled <- t.stalled +. (t.device_ready -. t.host);
     t.host <- t.device_ready
   end
@@ -44,6 +82,7 @@ let pipeline_depth t = Float.max 0.0 (t.device_ready -. t.host)
 let kernels_launched t = t.kernels
 let device_busy_time t = t.busy
 let host_stall_time t = t.stalled
+let max_pipeline_depth t = t.max_depth
 let live_bytes t = t.live
 let peak_bytes t = t.peak
 
@@ -53,9 +92,25 @@ let alloc t bytes =
 
 let free t bytes = t.live <- max 0 (t.live - bytes)
 
+let stats t =
+  {
+    S4o_obs.Stats.zero with
+    S4o_obs.Stats.kernels_launched = t.kernels;
+    host_seconds = t.host;
+    device_busy_seconds = t.busy;
+    host_stall_seconds = t.stalled;
+    max_pipeline_depth = t.max_depth;
+    live_bytes = t.live;
+    peak_bytes = t.peak;
+    spans_recorded = Recorder.span_count t.recorder;
+  }
+
 let reset t =
   t.host <- 0.0;
   t.device_ready <- 0.0;
   t.kernels <- 0;
   t.busy <- 0.0;
-  t.stalled <- 0.0
+  t.stalled <- 0.0;
+  t.max_depth <- 0.0;
+  Metrics.reset t.metrics;
+  Recorder.clear t.recorder

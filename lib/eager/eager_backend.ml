@@ -54,23 +54,34 @@ module Make (R : RUNTIME) : Backend_intf.S = struct
   let batch_matmul a b = run2 (C.batch_matmul (shape a) (shape b)) a b
   let batch_transpose a = run1 (C.batch_transpose (shape a)) a
 
-  let conv2d ?stride ~padding a f =
-    run2 (C.conv2d ?stride ~padding (shape a) (shape f)) a f
+  let conv2d ?(stride = Backend_intf.default_conv_stride) ~padding a f =
+    run2 (C.conv2d ~stride ~padding (shape a) (shape f)) a f
 
-  let conv2d_backward_input ?stride ~padding ~input_shape f g =
-    run2 (C.conv2d_backward_input ?stride ~padding ~input_shape (shape f) (shape g)) f g
+  let conv2d_backward_input ?(stride = Backend_intf.default_conv_stride)
+      ~padding ~input_shape f g =
+    run2 (C.conv2d_backward_input ~stride ~padding ~input_shape (shape f) (shape g)) f g
 
-  let conv2d_backward_filter ?stride ~padding ~filter_shape x g =
-    run2 (C.conv2d_backward_filter ?stride ~padding ~filter_shape (shape x) (shape g)) x g
+  let conv2d_backward_filter ?(stride = Backend_intf.default_conv_stride)
+      ~padding ~filter_shape x g =
+    run2 (C.conv2d_backward_filter ~stride ~padding ~filter_shape (shape x) (shape g)) x g
 
-  let avg_pool2d ~size ~stride a = run1 (C.avg_pool2d ~size ~stride (shape a)) a
+  let pool_stride stride ~size =
+    Option.value stride ~default:(Backend_intf.default_pool_stride ~size)
 
-  let avg_pool2d_backward ~size ~stride ~input_shape g =
+  let avg_pool2d ?stride ~size a =
+    let stride = pool_stride stride ~size in
+    run1 (C.avg_pool2d ~size ~stride (shape a)) a
+
+  let avg_pool2d_backward ?stride ~size ~input_shape g =
+    let stride = pool_stride stride ~size in
     run1 (C.avg_pool2d_backward ~size ~stride ~input_shape (shape g)) g
 
-  let max_pool2d ~size ~stride a = run1 (C.max_pool2d ~size ~stride (shape a)) a
+  let max_pool2d ?stride ~size a =
+    let stride = pool_stride stride ~size in
+    run1 (C.max_pool2d ~size ~stride (shape a)) a
 
-  let max_pool2d_backward ~size ~stride x g =
+  let max_pool2d_backward ?stride ~size x g =
+    let stride = pool_stride stride ~size in
     run2 (C.max_pool2d_backward ~size ~stride (shape x) (shape g)) x g
 
   let softmax a = run1 (C.softmax (shape a)) a

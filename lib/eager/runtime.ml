@@ -1,7 +1,11 @@
+module Engine = S4o_device.Engine
+module Recorder = S4o_obs.Recorder
+module Metrics = S4o_obs.Metrics
+
 type t = {
-  engine : S4o_device.Engine.t;
+  engine : Engine.t;
   dispatch_overhead : float;
-  mutable ops : int;
+  ops : Metrics.counter;
 }
 
 (* Default per-op host overhead of the S4TF eager runtime, calibrated to the
@@ -9,16 +13,35 @@ type t = {
 let default_dispatch_overhead = 120e-6
 
 let create ?(dispatch_overhead = default_dispatch_overhead) engine =
-  { engine; dispatch_overhead; ops = 0 }
+  {
+    engine;
+    dispatch_overhead;
+    ops = Metrics.counter (Engine.metrics engine) "eager.ops_dispatched";
+  }
 
 let engine t = t.engine
 
 let dispatch t (op : S4o_ops.Catalog.op) args =
-  S4o_device.Engine.spend_host t.engine t.dispatch_overhead;
-  ignore (S4o_device.Engine.dispatch t.engine op.info);
-  t.ops <- t.ops + 1;
+  let start = Engine.host_time t.engine in
+  Engine.spend_host t.engine t.dispatch_overhead;
+  ignore (Engine.dispatch t.engine op.info);
+  Recorder.span (Engine.recorder t.engine) Recorder.Host ~cat:"dispatch"
+    ~args:
+      (("flops", string_of_int op.info.S4o_device.Op_info.flops)
+      :: (if op.attrs = "" then [] else [ ("attrs", op.attrs) ]))
+    op.name ~start
+    ~finish:(Engine.host_time t.engine);
+  Metrics.incr t.ops;
   op.kernel args
 
-let sync t = S4o_device.Engine.sync t.engine
-let ops_dispatched t = t.ops
-let host_time t = S4o_device.Engine.host_time t.engine
+let sync t = Engine.sync t.engine
+
+let stats t =
+  {
+    (Engine.stats t.engine) with
+    S4o_obs.Stats.ops_dispatched = Metrics.counter_value t.ops;
+  }
+
+let reset_stats t = Engine.reset t.engine
+let ops_dispatched t = Metrics.counter_value t.ops
+let host_time t = Engine.host_time t.engine

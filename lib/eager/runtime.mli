@@ -3,7 +3,12 @@
     the simulated accelerator. Dispatch costs host time (the per-op overhead
     that Table 3 shows dominating small-kernel workloads); kernels execute
     asynchronously, so the host "runs ahead and fills a pipeline" until the
-    program observes a Tensor's contents. *)
+    program observes a Tensor's contents.
+
+    Each dispatch is recorded as a host-track span (op name, attrs, flops)
+    on the engine's {!S4o_obs.Recorder}, overlapping the device-track kernel
+    span the engine records — the §3.2 pipeline is directly visible in a
+    Chrome-trace export. *)
 
 type t
 
@@ -23,7 +28,18 @@ val dispatch : t -> S4o_ops.Catalog.op -> S4o_tensor.Dense.t array -> S4o_tensor
     observing a Tensor's contents does. *)
 val sync : t -> unit
 
+(** {1 Statistics — the unified surface}
+
+    Both runtimes expose the same pair: a full {!S4o_obs.Stats.t} snapshot
+    and a reset. *)
+
+val stats : t -> S4o_obs.Stats.t
+
+(** Zero all counters, clocks, metrics, and the recorded timeline. *)
+val reset_stats : t -> unit
+
 val ops_dispatched : t -> int
+  [@@deprecated "use (stats t).S4o_obs.Stats.ops_dispatched"]
 
 (** Simulated host seconds so far. *)
 val host_time : t -> float

@@ -1,24 +1,41 @@
-type stats = {
+module Engine = S4o_device.Engine
+module Recorder = S4o_obs.Recorder
+module Metrics = S4o_obs.Metrics
+
+type stats = S4o_obs.Stats.t = {
+  ops_dispatched : int;
   traces_cut : int;
+  auto_cuts : int;
   cache_hits : int;
   cache_misses : int;
   ops_traced : int;
   largest_trace : int;
+  compile_seconds : float;
+  kernels_launched : int;
+  host_seconds : float;
+  device_busy_seconds : float;
+  host_stall_seconds : float;
+  max_pipeline_depth : float;
+  live_bytes : int;
+  peak_bytes : int;
+  spans_recorded : int;
 }
 
 type t = {
-  engine : S4o_device.Engine.t;
+  engine : Engine.t;
   trace_overhead_per_op : float;
   cache_enabled : bool;
   auto_cut_threshold : int option;
   cache : (int, S4o_xla.Compiler.executable) Hashtbl.t;
-  mutable traces_cut : int;
-  mutable cache_hits : int;
-  mutable cache_misses : int;
-  mutable ops_traced : int;
-  mutable largest_trace : int;
+  (* All counters live in the engine's shared metrics registry, so one
+     snapshot of the registry sees the whole stack. *)
+  c_cuts : Metrics.counter;
+  c_auto_cuts : Metrics.counter;
+  c_hits : Metrics.counter;
+  c_misses : Metrics.counter;
+  trace_sizes : Metrics.histogram;  (* ops per cut trace *)
+  compile_times : Metrics.histogram;  (* seconds per JIT invocation *)
   mutable ops_since_cut : int;
-  mutable auto_cuts : int;
   mutable recent : Trace.node list;
       (* nodes recorded since the last cut, newest first: the frontier an
          automatic cut materializes *)
@@ -33,19 +50,20 @@ let create ?(trace_overhead_per_op = default_trace_overhead)
   | Some n when n <= 0 ->
       invalid_arg "Lazy_runtime.create: auto_cut_threshold must be positive"
   | Some _ | None -> ());
+  let m = Engine.metrics engine in
   {
     engine;
     trace_overhead_per_op;
     cache_enabled;
     auto_cut_threshold;
     cache = Hashtbl.create 16;
-    traces_cut = 0;
-    cache_hits = 0;
-    cache_misses = 0;
-    ops_traced = 0;
-    largest_trace = 0;
+    c_cuts = Metrics.counter m "lazy.traces_cut";
+    c_auto_cuts = Metrics.counter m "lazy.auto_cuts";
+    c_hits = Metrics.counter m "lazy.cache_hits";
+    c_misses = Metrics.counter m "lazy.cache_misses";
+    trace_sizes = Metrics.histogram m "lazy.trace_ops";
+    compile_times = Metrics.histogram m "lazy.compile_seconds";
     ops_since_cut = 0;
-    auto_cuts = 0;
     recent = [];
   }
 
@@ -53,12 +71,17 @@ let engine t = t.engine
 
 let stats t =
   {
-    traces_cut = t.traces_cut;
-    cache_hits = t.cache_hits;
-    cache_misses = t.cache_misses;
-    ops_traced = t.ops_traced;
-    largest_trace = t.largest_trace;
+    (Engine.stats t.engine) with
+    traces_cut = Metrics.counter_value t.c_cuts;
+    auto_cuts = Metrics.counter_value t.c_auto_cuts;
+    cache_hits = Metrics.counter_value t.c_hits;
+    cache_misses = Metrics.counter_value t.c_misses;
+    ops_traced = int_of_float (Metrics.hist_sum t.trace_sizes);
+    largest_trace = int_of_float (Metrics.hist_max t.trace_sizes);
+    compile_seconds = Metrics.hist_sum t.compile_times;
   }
+
+let reset_stats t = Engine.reset t.engine
 
 let dedup_roots roots =
   let seen = Hashtbl.create 8 in
@@ -78,25 +101,43 @@ let materialize t roots =
   t.ops_since_cut <- 0;
   t.recent <- [];
   if roots <> [] then begin
+    let rec_ = Engine.recorder t.engine in
+    let outer =
+      Recorder.begin_span rec_ Recorder.Host ~cat:"lazy" "materialize"
+        ~at:(Engine.host_time t.engine)
+    in
     let graph, leaves, pending = Trace.to_hlo roots in
     let n_ops = List.length pending in
-    t.traces_cut <- t.traces_cut + 1;
-    t.ops_traced <- t.ops_traced + n_ops;
-    if n_ops > t.largest_trace then t.largest_trace <- n_ops;
+    Metrics.incr t.c_cuts;
+    Metrics.observe t.trace_sizes (float_of_int n_ops);
     (* Re-tracing overhead: paid on every iteration even on cache hits. *)
-    S4o_device.Engine.spend_host t.engine
-      (t.trace_overhead_per_op *. float_of_int n_ops);
+    Engine.with_host_span t.engine ~cat:"lazy"
+      ~args:[ ("ops", string_of_int n_ops) ]
+      "trace-record"
+      (fun () ->
+        Engine.spend_host t.engine
+          (t.trace_overhead_per_op *. float_of_int n_ops));
     let fp = S4o_xla.Hlo.fingerprint graph in
     let exe =
       match
         if t.cache_enabled then Hashtbl.find_opt t.cache fp else None
       with
       | Some exe ->
-          t.cache_hits <- t.cache_hits + 1;
+          Metrics.incr t.c_hits;
+          Recorder.instant rec_ Recorder.Host ~cat:"lazy"
+            ~args:[ ("fingerprint", string_of_int fp) ]
+            "cache-hit"
+            ~at:(Engine.host_time t.engine);
           exe
       | None ->
-          t.cache_misses <- t.cache_misses + 1;
+          Metrics.incr t.c_misses;
+          Recorder.instant rec_ Recorder.Host ~cat:"lazy"
+            ~args:[ ("fingerprint", string_of_int fp) ]
+            "cache-miss"
+            ~at:(Engine.host_time t.engine);
           let exe = S4o_xla.Compiler.compile ~engine:t.engine graph in
+          Metrics.observe t.compile_times
+            (S4o_xla.Compiler.stats exe).S4o_xla.Compiler.compile_seconds;
           if t.cache_enabled then Hashtbl.replace t.cache fp exe;
           exe
     in
@@ -122,7 +163,10 @@ let materialize t roots =
     else begin
       S4o_xla.Compiler.simulate exe t.engine;
       List.iter (fun (r : Trace.node) -> r.Trace.state <- Trace.Simulated) roots
-    end
+    end;
+    Recorder.end_span rec_ outer
+      ~args:[ ("ops", string_of_int n_ops) ]
+      ~at:(Engine.host_time t.engine)
   end
 
 let barrier = materialize
@@ -138,7 +182,10 @@ let note_recorded t node =
       t.ops_since_cut <- t.ops_since_cut + 1;
       t.recent <- node :: t.recent;
       if t.ops_since_cut >= threshold then begin
-        t.auto_cuts <- t.auto_cuts + 1;
+        Metrics.incr t.c_auto_cuts;
+        Recorder.instant (Engine.recorder t.engine) Recorder.Host ~cat:"lazy"
+          "auto-cut"
+          ~at:(Engine.host_time t.engine);
         (* cut the whole recorded frontier, not just this node's ancestors:
            later nodes subsume earlier ones where they are connected, and
            disconnected chains get dispatched too, so no fragment is left to
@@ -146,11 +193,11 @@ let note_recorded t node =
         materialize t t.recent
       end
 
-let auto_cuts t = t.auto_cuts
+let auto_cuts t = Metrics.counter_value t.c_auto_cuts
 
 let force t node =
   materialize t [ node ];
-  S4o_device.Engine.sync t.engine;
+  Engine.sync t.engine;
   match node.Trace.state with
   | Trace.Materialized v -> v
   | Trace.Simulated ->

@@ -8,16 +8,35 @@
     The runtime operates in one of two value modes:
     - {e compute} (default): executing a trace computes real tensor values;
     - {e timing-only}: executions advance the simulated clocks but never
-      compute values, enabling full-scale ResNet/ImageNet benchmarks. *)
+      compute values, enabling full-scale ResNet/ImageNet benchmarks.
+
+    Every materialize is recorded on the engine's {!S4o_obs.Recorder} as a
+    host-track span enclosing the trace-record span, the compile span (cache
+    misses only), and cache-hit/miss instants — so a Chrome-trace export
+    shows exactly where §3.4's re-tracing and JIT time goes. *)
 
 type t
 
-type stats = {
+(** The unified snapshot type — a re-export of {!S4o_obs.Stats.t}, so field
+    access through this module keeps compiling while new code can treat it
+    as the shared type. *)
+type stats = S4o_obs.Stats.t = {
+  ops_dispatched : int;
   traces_cut : int;
+  auto_cuts : int;
   cache_hits : int;
   cache_misses : int;
   ops_traced : int;
   largest_trace : int;
+  compile_seconds : float;
+  kernels_launched : int;
+  host_seconds : float;
+  device_busy_seconds : float;
+  host_stall_seconds : float;
+  max_pipeline_depth : float;
+  live_bytes : int;
+  peak_bytes : int;
+  spans_recorded : int;
 }
 
 (** [create ?trace_overhead_per_op ?cache_enabled ?auto_cut_threshold
@@ -35,7 +54,15 @@ val create :
   t
 
 val engine : t -> S4o_device.Engine.t
+
+(** {1 Statistics — the unified surface}
+
+    The same [stats]/[reset_stats] pair as [S4o_eager.Runtime]. *)
+
 val stats : t -> stats
+
+(** Zero all counters, clocks, metrics, and the recorded timeline. *)
+val reset_stats : t -> unit
 
 (** [materialize t roots] cuts the pending trace reachable from [roots],
     compiles it (or hits the program cache), and executes it. Roots become
@@ -54,8 +81,8 @@ val barrier : t -> Trace.node list -> unit
     given. *)
 val note_recorded : t -> Trace.node -> unit
 
-(** Number of automatic cuts performed so far. *)
 val auto_cuts : t -> int
+  [@@deprecated "use (stats t).S4o_obs.Stats.auto_cuts"]
 
 (** Force a node's concrete contents: materializes if needed and blocks the
     simulated host until the device drains. Raises [Invalid_argument] for

@@ -1,0 +1,113 @@
+let tid_of_track = function Recorder.Host -> 1 | Recorder.Device -> 2
+
+let us seconds = seconds *. 1e6
+
+let args_obj args =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) args)
+
+let common ~pid ~name ~cat ~track ~ts rest =
+  Json.Obj
+    (("name", Json.Str name)
+    :: ("cat", Json.Str (if cat = "" then "s4o" else cat))
+    :: ("pid", Json.Num (float_of_int pid))
+    :: ("tid", Json.Num (float_of_int (tid_of_track track)))
+    :: ("ts", Json.Num (us ts))
+    :: rest)
+
+let event_json ~pid = function
+  | Recorder.Span { name; cat; track; start; finish; args } ->
+      common ~pid ~name ~cat ~track ~ts:start
+        [
+          ("ph", Json.Str "X");
+          ("dur", Json.Num (us (finish -. start)));
+          ("args", args_obj args);
+        ]
+  | Recorder.Instant { name; cat; track; at; args } ->
+      common ~pid ~name ~cat ~track ~ts:at
+        [ ("ph", Json.Str "i"); ("s", Json.Str "t"); ("args", args_obj args) ]
+  | Recorder.Counter { name; track; at; value } ->
+      common ~pid ~name ~cat:"counter" ~track ~ts:at
+        [ ("ph", Json.Str "C"); ("args", Json.Obj [ (name, Json.Num value) ]) ]
+
+let metadata ~pid process =
+  let meta name args =
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("ph", Json.Str "M");
+        ("pid", Json.Num (float_of_int pid));
+        ("tid", Json.Num 0.0);
+        ("args", Json.Obj args);
+      ]
+  in
+  let thread_meta track =
+    Json.Obj
+      [
+        ("name", Json.Str "thread_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Num (float_of_int pid));
+        ("tid", Json.Num (float_of_int (tid_of_track track)));
+        ("args", Json.Obj [ ("name", Json.Str (Recorder.track_name track)) ]);
+      ]
+  in
+  [
+    meta "process_name" [ ("name", Json.Str process) ];
+    thread_meta Recorder.Host;
+    thread_meta Recorder.Device;
+  ]
+
+let to_json processes =
+  let events =
+    List.concat
+      (List.mapi
+         (fun i (process, recorder) ->
+           let pid = i + 1 in
+           metadata ~pid process
+           @ List.map (event_json ~pid) (Recorder.events recorder))
+         processes)
+  in
+  Json.Obj
+    [ ("traceEvents", Json.Arr events); ("displayTimeUnit", Json.Str "ms") ]
+
+let to_string ?(process = "s4o") recorder =
+  Json.to_string (to_json [ (process, recorder) ])
+
+let processes_to_string processes = Json.to_string (to_json processes)
+
+let to_channel ?process oc recorder =
+  output_string oc (to_string ?process recorder)
+
+let to_file ?process path recorder =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> to_channel ?process oc recorder)
+
+let processes_to_file path processes =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (processes_to_string processes))
+
+let validate s =
+  match Json.parse s with
+  | Error msg -> Error ("invalid JSON: " ^ msg)
+  | Ok j -> (
+      match Option.bind (Json.member "traceEvents" j) Json.to_list with
+      | None -> Error "missing traceEvents array"
+      | Some events ->
+          let ok =
+            List.for_all
+              (fun e ->
+                let has k to_ty =
+                  match Option.bind (Json.member k e) to_ty with
+                  | Some _ -> true
+                  | None -> false
+                in
+                has "name" Json.to_str && has "ph" Json.to_str
+                && has "pid" Json.to_float
+                && has "tid" Json.to_float)
+              events
+          in
+          if ok then Ok (List.length events)
+          else Error "malformed trace event")

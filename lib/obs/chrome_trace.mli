@@ -1,0 +1,25 @@
+(** Export recorded timelines in the Chrome trace-event JSON format, viewable
+    in [chrome://tracing] / Perfetto — the timeline profiling that TF Eager
+    and LazyTensor lean on to separate host-bound from device-bound regimes.
+
+    Each recorder becomes one process with two named threads mirroring its
+    two tracks: [tid 1] = host (dispatch, tracing, compiling, stalls),
+    [tid 2] = device (kernel executions). Spans are complete events
+    ([ph:"X"]), instants are [ph:"i"], counter samples are [ph:"C"].
+    Simulated seconds become trace microseconds. *)
+
+(** Serialize one recorder as one process ([?process] names it). *)
+val to_string : ?process:string -> Recorder.t -> string
+
+val to_channel : ?process:string -> out_channel -> Recorder.t -> unit
+val to_file : ?process:string -> string -> Recorder.t -> unit
+
+(** Several recorders side by side — e.g. the eager and lazy runtimes of the
+    same workload — as separate processes on a shared timeline. *)
+val processes_to_string : (string * Recorder.t) list -> string
+
+val processes_to_file : string -> (string * Recorder.t) list -> unit
+
+(** Parse a serialized trace back and structurally check every event (the
+    round-trip check used by tests and the CLI). Returns the event count. *)
+val validate : string -> (int, string) result

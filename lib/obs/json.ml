@@ -1,0 +1,229 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let number_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let rec write b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (string_of_bool v)
+  | Num f -> Buffer.add_string b (number_to_string f)
+  | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+  | Arr items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char b ',';
+          write b item)
+        items;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\":";
+          write b v)
+        fields;
+      Buffer.add_char b '}'
+
+let to_string j =
+  let b = Buffer.create 1024 in
+  write b j;
+  Buffer.contents b
+
+(* ------------------------------------------------------------- parsing *)
+
+exception Parse_error of string
+
+type parser_state = { src : string; mutable pos : int }
+
+let peek p = if p.pos < String.length p.src then Some p.src.[p.pos] else None
+
+let fail p msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg p.pos))
+
+let advance p = p.pos <- p.pos + 1
+
+let rec skip_ws p =
+  match peek p with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance p;
+      skip_ws p
+  | _ -> ()
+
+let expect p c =
+  match peek p with
+  | Some c' when c' = c -> advance p
+  | _ -> fail p (Printf.sprintf "expected '%c'" c)
+
+let literal p word value =
+  String.iter (fun c -> expect p c) word;
+  value
+
+let parse_string_body p =
+  let b = Buffer.create 16 in
+  let rec loop () =
+    match peek p with
+    | None -> fail p "unterminated string"
+    | Some '"' -> advance p
+    | Some '\\' -> (
+        advance p;
+        match peek p with
+        | Some 'n' -> advance p; Buffer.add_char b '\n'; loop ()
+        | Some 't' -> advance p; Buffer.add_char b '\t'; loop ()
+        | Some 'r' -> advance p; Buffer.add_char b '\r'; loop ()
+        | Some 'b' -> advance p; Buffer.add_char b '\b'; loop ()
+        | Some 'f' -> advance p; Buffer.add_char b '\012'; loop ()
+        | Some 'u' ->
+            advance p;
+            if p.pos + 4 > String.length p.src then fail p "bad \\u escape";
+            let hex = String.sub p.src p.pos 4 in
+            p.pos <- p.pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail p "bad \\u escape"
+            in
+            (* BMP only; encode as UTF-8 *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            loop ()
+        | Some c -> advance p; Buffer.add_char b c; loop ()
+        | None -> fail p "unterminated escape")
+    | Some c ->
+        advance p;
+        Buffer.add_char b c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents b
+
+let parse_number p =
+  let start = p.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek p with Some c -> is_num_char c | None -> false) do
+    advance p
+  done;
+  let s = String.sub p.src start (p.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> Num f
+  | None -> fail p ("bad number " ^ s)
+
+let rec parse_value p =
+  skip_ws p;
+  match peek p with
+  | None -> fail p "unexpected end of input"
+  | Some '"' ->
+      advance p;
+      Str (parse_string_body p)
+  | Some '{' ->
+      advance p;
+      skip_ws p;
+      if peek p = Some '}' then begin
+        advance p;
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws p;
+          expect p '"';
+          let k = parse_string_body p in
+          skip_ws p;
+          expect p ':';
+          let v = parse_value p in
+          skip_ws p;
+          match peek p with
+          | Some ',' ->
+              advance p;
+              fields ((k, v) :: acc)
+          | Some '}' ->
+              advance p;
+              Obj (List.rev ((k, v) :: acc))
+          | _ -> fail p "expected ',' or '}'"
+        in
+        fields []
+      end
+  | Some '[' ->
+      advance p;
+      skip_ws p;
+      if peek p = Some ']' then begin
+        advance p;
+        Arr []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value p in
+          skip_ws p;
+          match peek p with
+          | Some ',' ->
+              advance p;
+              items (v :: acc)
+          | Some ']' ->
+              advance p;
+              Arr (List.rev (v :: acc))
+          | _ -> fail p "expected ',' or ']'"
+        in
+        items []
+      end
+  | Some 't' -> literal p "true" (Bool true)
+  | Some 'f' -> literal p "false" (Bool false)
+  | Some 'n' -> literal p "null" Null
+  | Some _ -> parse_number p
+
+let parse s =
+  let p = { src = s; pos = 0 } in
+  try
+    let v = parse_value p in
+    skip_ws p;
+    if p.pos <> String.length s then Error "trailing characters"
+    else Ok v
+  with Parse_error msg -> Error msg
+
+(* ----------------------------------------------------------- accessors *)
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let to_list = function Arr items -> Some items | _ -> None
+let to_float = function Num f -> Some f | _ -> None
+let to_str = function Str s -> Some s | _ -> None

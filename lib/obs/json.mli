@@ -1,0 +1,27 @@
+(** A minimal JSON value type, writer, and recursive-descent parser.
+
+    Exists so the Chrome-trace exporter has a well-formed serializer and —
+    more importantly — so exported traces can be {e round-tripped} through a
+    real parse in tests and CLI validation, without pulling in an external
+    JSON dependency. Strings are treated as bytes (with [\uXXXX] escapes
+    decoded to UTF-8 on the way in); numbers are floats. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+(** Parse a complete JSON document. *)
+val parse : string -> (t, string) result
+
+(** [member k (Obj ...)] is the value bound to [k], if any. *)
+val member : string -> t -> t option
+
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_str : t -> string option

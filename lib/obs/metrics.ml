@@ -1,0 +1,148 @@
+type counter = { mutable count : int }
+type gauge = { mutable last : float; mutable peak : float; mutable samples : int }
+
+type histogram = {
+  mutable n : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  buckets : float array;  (* upper bounds, ascending; +inf implicit *)
+  bucket_counts : int array;  (* length = Array.length buckets + 1 *)
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type t = {
+  tbl : (string, metric) Hashtbl.t;
+  mutable order : string list;  (* registration order, newest first *)
+}
+
+let create () = { tbl = Hashtbl.create 16; order = [] }
+
+let register t name m =
+  match Hashtbl.find_opt t.tbl name with
+  | Some existing -> existing
+  | None ->
+      Hashtbl.add t.tbl name m;
+      t.order <- name :: t.order;
+      m
+
+let counter t name =
+  match register t name (Counter { count = 0 }) with
+  | Counter c -> c
+  | _ -> invalid_arg (name ^ " is already registered with another type")
+
+let gauge t name =
+  match register t name (Gauge { last = 0.0; peak = neg_infinity; samples = 0 }) with
+  | Gauge g -> g
+  | _ -> invalid_arg (name ^ " is already registered with another type")
+
+let default_buckets =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0; 10.0 |]
+
+let histogram ?(buckets = default_buckets) t name =
+  let h =
+    Histogram
+      {
+        n = 0;
+        sum = 0.0;
+        min_v = infinity;
+        max_v = neg_infinity;
+        buckets;
+        bucket_counts = Array.make (Array.length buckets + 1) 0;
+      }
+  in
+  match register t name h with
+  | Histogram h -> h
+  | _ -> invalid_arg (name ^ " is already registered with another type")
+
+let incr ?(by = 1) c = c.count <- c.count + by
+let counter_value c = c.count
+
+let set g v =
+  g.last <- v;
+  g.samples <- g.samples + 1;
+  if v > g.peak then g.peak <- v
+
+let gauge_value g = g.last
+let gauge_peak g = if g.samples = 0 then 0.0 else g.peak
+
+let observe h v =
+  h.n <- h.n + 1;
+  h.sum <- h.sum +. v;
+  if v < h.min_v then h.min_v <- v;
+  if v > h.max_v then h.max_v <- v;
+  let rec place i =
+    if i >= Array.length h.buckets then Array.length h.buckets
+    else if v <= h.buckets.(i) then i
+    else place (i + 1)
+  in
+  let i = place 0 in
+  h.bucket_counts.(i) <- h.bucket_counts.(i) + 1
+
+let hist_count h = h.n
+let hist_sum h = h.sum
+let hist_max h = if h.n = 0 then 0.0 else h.max_v
+let hist_min h = if h.n = 0 then 0.0 else h.min_v
+let hist_mean h = if h.n = 0 then 0.0 else h.sum /. float_of_int h.n
+
+let hist_buckets h =
+  Array.to_list
+    (Array.mapi
+       (fun i c ->
+         let upper =
+           if i < Array.length h.buckets then h.buckets.(i) else infinity
+         in
+         (upper, c))
+       h.bucket_counts)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of { last : float; peak : float }
+  | Histogram_v of { count : int; sum : float; mean : float; max : float }
+
+let snapshot t =
+  List.rev_map
+    (fun name ->
+      let v =
+        match Hashtbl.find t.tbl name with
+        | Counter c -> Counter_v c.count
+        | Gauge g -> Gauge_v { last = gauge_value g; peak = gauge_peak g }
+        | Histogram h ->
+            Histogram_v
+              { count = h.n; sum = h.sum; mean = hist_mean h; max = hist_max h }
+      in
+      (name, v))
+    t.order
+
+let reset t =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.count <- 0
+      | Gauge g ->
+          g.last <- 0.0;
+          g.peak <- neg_infinity;
+          g.samples <- 0
+      | Histogram h ->
+          h.n <- 0;
+          h.sum <- 0.0;
+          h.min_v <- infinity;
+          h.max_v <- neg_infinity;
+          Array.fill h.bucket_counts 0 (Array.length h.bucket_counts) 0)
+    t.tbl
+
+let pp ppf t =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter_v c -> Format.fprintf ppf "%s: %d@." name c
+      | Gauge_v { last; peak } ->
+          Format.fprintf ppf "%s: %g (peak %g)@." name last peak
+      | Histogram_v { count; sum; mean; max } ->
+          Format.fprintf ppf "%s: n=%d sum=%g mean=%g max=%g@." name count sum
+            mean max)
+    (snapshot t)

@@ -1,0 +1,62 @@
+(** A metrics registry: named counters, gauges, and histograms.
+
+    Instrumented components look their metrics up by name with
+    find-or-create semantics ({!counter} twice with the same name returns
+    the same counter), so independently-written layers share one registry —
+    in practice the one owned by each {!S4o_device.Engine} — and a single
+    {!snapshot} sees them all. *)
+
+type t
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+(** Find-or-create. Raises [Invalid_argument] if [name] is already
+    registered as a different metric type. *)
+val counter : t -> string -> counter
+
+val gauge : t -> string -> gauge
+val histogram : ?buckets:float array -> t -> string -> histogram
+
+(** {1 Counters: monotone event counts} *)
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+(** {1 Gauges: last-written value, with peak tracking} *)
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** Largest value ever {!set} (0 if never set). *)
+val gauge_peak : gauge -> float
+
+(** {1 Histograms: distributions of observed samples} *)
+
+val observe : histogram -> float -> unit
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+val hist_mean : histogram -> float
+val hist_max : histogram -> float
+val hist_min : histogram -> float
+
+(** [(upper_bound, count)] per bucket; the last bucket's bound is
+    [infinity]. *)
+val hist_buckets : histogram -> (float * int) list
+
+(** {1 Snapshots} *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of { last : float; peak : float }
+  | Histogram_v of { count : int; sum : float; mean : float; max : float }
+
+(** All registered metrics in registration order. *)
+val snapshot : t -> (string * value) list
+
+(** Zero every metric (registrations survive). *)
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

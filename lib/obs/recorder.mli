@@ -1,0 +1,92 @@
+(** The event recorder at the heart of the observability layer: a
+    zero-dependency log of timeline events keyed to {e simulated} clocks.
+
+    Every simulated component — the device engine, the eager runtime, the
+    LazyTensor runtime, the XLA-style compiler — appends events stamped with
+    the simulated time (seconds) at which they happened. Two tracks mirror
+    the two clocks of {!S4o_device.Engine}: [Host] (dispatch overheads,
+    tracing, compiling, sync stalls) and [Device] (kernel executions). The
+    recorder itself knows nothing about either; callers pass explicit
+    timestamps, which keeps this library dependency-free and reusable.
+
+    Events are exported to the Chrome trace-event format by
+    {!Chrome_trace}, and summarized by {!Stats}. *)
+
+type track = Host | Device
+
+val track_name : track -> string
+
+type span = {
+  name : string;
+  cat : string;  (** Category, e.g. ["dispatch"], ["kernel"], ["stall"]. *)
+  track : track;
+  start : float;  (** Simulated seconds. *)
+  finish : float;
+  args : (string * string) list;  (** Free-form annotations. *)
+}
+
+type event =
+  | Span of span
+  | Instant of {
+      name : string;
+      cat : string;
+      track : track;
+      at : float;
+      args : (string * string) list;
+    }
+  | Counter of { name : string; track : track; at : float; value : float }
+
+type t
+
+(** [create ()] makes an empty recorder. [~enabled:false] makes every
+    recording call a no-op until {!set_enabled}. *)
+val create : ?enabled:bool -> unit -> t
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+(** [span t track name ~start ~finish] records a completed interval. *)
+val span :
+  t ->
+  track ->
+  ?cat:string ->
+  ?args:(string * string) list ->
+  string ->
+  start:float ->
+  finish:float ->
+  unit
+
+(** A zero-duration marker (cache hits, cuts, resets...). *)
+val instant :
+  t -> track -> ?cat:string -> ?args:(string * string) list -> string -> at:float -> unit
+
+(** [counter t track name ~at v] samples a time series (pipeline depth,
+    live bytes...). *)
+val counter : t -> track -> string -> at:float -> float -> unit
+
+(** {1 Nested spans}
+
+    [begin_span]/[end_span] bracket work whose duration is only known after
+    the fact; spans opened while another is open nest naturally in the
+    exported timeline. *)
+
+type open_span
+
+val begin_span :
+  t -> track -> ?cat:string -> ?args:(string * string) list -> string -> at:float -> open_span
+
+(** [end_span t o ~at] records the interval opened by [o]; [?args] are
+    appended to the opening args. *)
+val end_span : t -> ?args:(string * string) list -> open_span -> at:float -> unit
+
+(** {1 Reading} *)
+
+(** All events, in recording order. *)
+val events : t -> event list
+
+(** Completed spans only, in recording order. *)
+val spans : t -> span list
+
+val span_count : t -> int
+val event_count : t -> int
+val clear : t -> unit

@@ -5,6 +5,16 @@
     NN library is a functor over this signature, so "switching devices"
     is switching the functor argument, exactly as §3.3 describes. *)
 
+(** The default convolution stride, [(1, 1)], shared by {e every} backend:
+    implementations default their [?stride] to this value explicitly rather
+    than leaning on whatever their kernel layer defaults to, so the three
+    backends cannot drift apart. *)
+let default_conv_stride = (1, 1)
+
+(** The default pooling stride is the pooling window itself
+    (non-overlapping windows, the TF/Keras convention). *)
+let default_pool_stride ~size = size
+
 module type S = sig
   type t
 
@@ -69,6 +79,8 @@ module type S = sig
   (** Transpose of the trailing two axes of a rank-3 tensor. *)
   val batch_transpose : t -> t
 
+  (** [?stride] defaults to {!default_conv_stride} — [(1, 1)] — on every
+      backend, for [conv2d] and both backward kernels alike. *)
   val conv2d :
     ?stride:int * int -> padding:Convolution.padding -> t -> t -> t
 
@@ -88,13 +100,15 @@ module type S = sig
     t ->
     t
 
-  val avg_pool2d : size:int * int -> stride:int * int -> t -> t
+  (** Pooling [?stride] defaults to {!default_pool_stride} — the window
+      [size] (non-overlapping windows) — on every backend. *)
+  val avg_pool2d : ?stride:int * int -> size:int * int -> t -> t
 
   val avg_pool2d_backward :
-    size:int * int -> stride:int * int -> input_shape:Shape.t -> t -> t
+    ?stride:int * int -> size:int * int -> input_shape:Shape.t -> t -> t
 
-  val max_pool2d : size:int * int -> stride:int * int -> t -> t
-  val max_pool2d_backward : size:int * int -> stride:int * int -> t -> t -> t
+  val max_pool2d : ?stride:int * int -> size:int * int -> t -> t
+  val max_pool2d_backward : ?stride:int * int -> size:int * int -> t -> t -> t
   val softmax : t -> t
   val log_softmax : t -> t
 end

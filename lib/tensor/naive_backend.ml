@@ -32,12 +32,39 @@ let mean_all t = Dense.scalar (Dense.mean t)
 let matmul = Dense.matmul
 let batch_matmul = Dense.batch_matmul
 let batch_transpose = Dense.batch_transpose
-let conv2d = Convolution.conv2d
-let conv2d_backward_input = Convolution.conv2d_backward_input
-let conv2d_backward_filter = Convolution.conv2d_backward_filter
-let avg_pool2d = Convolution.avg_pool2d
-let avg_pool2d_backward = Convolution.avg_pool2d_backward
-let max_pool2d = Convolution.max_pool2d
-let max_pool2d_backward = Convolution.max_pool2d_backward
+let conv2d ?(stride = Backend_intf.default_conv_stride) ~padding input filter =
+  Convolution.conv2d ~stride ~padding input filter
+
+let conv2d_backward_input ?(stride = Backend_intf.default_conv_stride) ~padding
+    ~input_shape filter grad =
+  Convolution.conv2d_backward_input ~stride ~padding ~input_shape filter grad
+
+let conv2d_backward_filter ?(stride = Backend_intf.default_conv_stride)
+    ~padding ~filter_shape input grad =
+  Convolution.conv2d_backward_filter ~stride ~padding ~filter_shape input grad
+
+let avg_pool2d ?stride ~size input =
+  let stride =
+    Option.value stride ~default:(Backend_intf.default_pool_stride ~size)
+  in
+  Convolution.avg_pool2d ~size ~stride input
+
+let avg_pool2d_backward ?stride ~size ~input_shape grad =
+  let stride =
+    Option.value stride ~default:(Backend_intf.default_pool_stride ~size)
+  in
+  Convolution.avg_pool2d_backward ~size ~stride ~input_shape grad
+
+let max_pool2d ?stride ~size input =
+  let stride =
+    Option.value stride ~default:(Backend_intf.default_pool_stride ~size)
+  in
+  Convolution.max_pool2d ~size ~stride input
+
+let max_pool2d_backward ?stride ~size input grad =
+  let stride =
+    Option.value stride ~default:(Backend_intf.default_pool_stride ~size)
+  in
+  Convolution.max_pool2d_backward ~size ~stride input grad
 let softmax = Dense.softmax
 let log_softmax = Dense.log_softmax

@@ -28,7 +28,17 @@ let compile ?engine g =
   let compile_seconds =
     compile_base_seconds +. (compile_per_node_seconds *. float_of_int input_nodes)
   in
-  Option.iter (fun e -> S4o_device.Engine.spend_host e compile_seconds) engine;
+  Option.iter
+    (fun e ->
+      S4o_device.Engine.with_host_span e ~cat:"compile"
+        ~args:
+          [
+            ("input_nodes", string_of_int input_nodes);
+            ("clusters", string_of_int (List.length clusters));
+          ]
+        "xla-compile"
+        (fun () -> S4o_device.Engine.spend_host e compile_seconds))
+    engine;
   let n_params = List.length (Hlo.params optimized) in
   {
     graph = optimized;

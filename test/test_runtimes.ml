@@ -74,7 +74,8 @@ let test_eager_dispatch_costs_host_time () =
   with_eager (fun (module Bk) rt _ ->
       let a, b = sample_inputs 1 in
       let _ = expr (module Bk) a b in
-      Test_util.check_true "ops dispatched" (S4o_eager.Runtime.ops_dispatched rt > 5);
+      Test_util.check_true "ops dispatched"
+        ((S4o_eager.Runtime.stats rt).S4o_obs.Stats.ops_dispatched > 5);
       Test_util.check_true "host time accrued"
         (S4o_eager.Runtime.host_time rt > 0.0))
 
@@ -255,7 +256,8 @@ let test_auto_cut_dispatches_without_barriers () =
     x := Bk.relu (Bk.add_scalar 0.1 !x)
   done;
   (* 40 recorded ops with threshold 5: the runtime must have cut on its own *)
-  Test_util.check_true "auto cuts happened" (S4o_lazy.Lazy_runtime.auto_cuts rt >= 7);
+  Test_util.check_true "auto cuts happened"
+    ((S4o_lazy.Lazy_runtime.stats rt).S4o_lazy.Lazy_runtime.auto_cuts >= 7);
   let st = S4o_lazy.Lazy_runtime.stats rt in
   Test_util.check_true "fragments bounded" (st.S4o_lazy.Lazy_runtime.largest_trace <= 5);
   (* and values are still exactly right: replay the exact op sequence *)
@@ -275,7 +277,8 @@ let test_auto_cut_disabled_by_default () =
   for _ = 1 to 50 do
     x := Bk.relu !x
   done;
-  Test_util.check_int "no auto cuts" 0 (S4o_lazy.Lazy_runtime.auto_cuts rt)
+  Test_util.check_int "no auto cuts" 0
+    (S4o_lazy.Lazy_runtime.stats rt).S4o_lazy.Lazy_runtime.auto_cuts
 
 let test_auto_cut_threshold_validated () =
   let engine = Engine.create Spec.gtx1080 in
@@ -295,7 +298,7 @@ let test_manual_barrier_resets_auto_counter () =
   done;
   (* each manual cut resets the counter, so the threshold is never reached *)
   Test_util.check_int "no auto cuts with frequent barriers" 0
-    (S4o_lazy.Lazy_runtime.auto_cuts rt)
+    (S4o_lazy.Lazy_runtime.stats rt).S4o_lazy.Lazy_runtime.auto_cuts
 
 let auto_cut_suite =
   let tc = Alcotest.test_case in
