@@ -6,6 +6,8 @@
       model's forward pass, as in Figure 4.
     - [s4o spline]: run the on-device personalization workload of §5.1.3 and
       project Table 4's runtime styles.
+    - [s4o serve]: run the inference-serving runtime (dynamic batching,
+      replicas, SLO-aware shedding) against an open- or closed-loop load.
 
     [dune exec bin/s4o_cli.exe -- <command> --help] for options. *)
 
@@ -199,6 +201,147 @@ let spline_cmd =
     (Cmd.info "spline" ~doc:"On-device spline personalization (Table 4 workload)")
     Term.(const run_spline $ knots $ data $ shift)
 
+(* ------------------------------------------------------------------ serve *)
+
+let strategy_conv =
+  let parse s =
+    match S4o_serve.Replica.strategy_of_string s with
+    | Some st -> Ok st
+    | None -> Error (`Msg (Printf.sprintf "unknown strategy %s" s))
+  in
+  Arg.conv (parse, fun ppf st -> Fmt.string ppf (S4o_serve.Replica.strategy_name st))
+
+let policy_conv =
+  let parse s =
+    match S4o_serve.Server.policy_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown policy %s" s))
+  in
+  Arg.conv (parse, fun ppf p -> Fmt.string ppf (S4o_serve.Server.policy_name p))
+
+let model_conv =
+  let parse s =
+    match S4o_serve.Model.of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "unknown model %s" s))
+  in
+  Arg.conv (parse, fun ppf m -> Fmt.string ppf (S4o_serve.Model.name m))
+
+let run_serve model strategy device replicas max_batch batch_timeout_ms
+    queue_capacity slo_ms policy rate burst clients requests seed trace_out =
+  let open S4o_serve in
+  let spec =
+    match S4o_device.Device_spec.of_name device with
+    | Some s -> s
+    | None ->
+        Printf.eprintf "error: unknown device %s\n" device;
+        exit 1
+  in
+  let cfg =
+    Server.default_config ~model ~strategy ~spec ~replicas ~max_batch
+      ~batch_timeout:(batch_timeout_ms /. 1e3)
+      ~queue_capacity ~slo:(slo_ms /. 1e3) ~policy ()
+  in
+  let workload =
+    match clients with
+    | Some clients ->
+        Server.Closed_loop { clients; think = 1e-3; requests; seed }
+    | None ->
+        let process =
+          match burst with
+          | Some burst -> Load_gen.Bursty { rate; burst }
+          | None -> Load_gen.Poisson { rate }
+        in
+        Server.Open_loop { process; requests; seed }
+  in
+  let t = Server.run cfg workload in
+  Format.printf "%a%!" Serve_stats.pp (Server.stats t);
+  match trace_out with
+  | None -> ()
+  | Some path -> (
+      match
+        S4o_obs.Chrome_trace.processes_to_file path (Server.recorders t)
+      with
+      | exception Sys_error msg ->
+          Printf.eprintf "error: cannot write trace: %s\n" msg;
+          exit 1
+      | () -> (
+          match
+            S4o_obs.Chrome_trace.validate
+              (S4o_obs.Chrome_trace.processes_to_string (Server.recorders t))
+          with
+          | Ok n ->
+              Printf.printf
+                "Chrome trace with %d events written to %s (load in \
+                 chrome://tracing or ui.perfetto.dev)\n"
+                n path
+          | Error msg ->
+              Printf.eprintf "internal error: bad trace export: %s\n" msg))
+
+let serve_cmd =
+  let model =
+    Arg.(
+      value
+      & opt model_conv S4o_serve.Model.Lenet
+      & info [ "model" ] ~doc:"lenet|resnet-tiny|mlp")
+  in
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv S4o_serve.Replica.lazy_tensor
+      & info [ "strategy" ] ~doc:"lazy|eager|pytorch")
+  in
+  let device =
+    Arg.(value & opt string "gtx1080" & info [ "device" ] ~doc:"device spec name")
+  in
+  let replicas = Arg.(value & opt int 2 & info [ "replicas" ]) in
+  let max_batch = Arg.(value & opt int 8 & info [ "max-batch" ]) in
+  let timeout =
+    Arg.(value & opt float 1.0 & info [ "batch-timeout-ms" ] ~doc:"batching window")
+  in
+  let queue = Arg.(value & opt int 64 & info [ "queue-capacity" ]) in
+  let slo = Arg.(value & opt float 20.0 & info [ "slo-ms" ] ~doc:"latency deadline") in
+  let policy =
+    Arg.(
+      value
+      & opt policy_conv S4o_serve.Server.Least_loaded
+      & info [ "policy" ] ~doc:"least-loaded|round-robin")
+  in
+  let rate =
+    Arg.(value & opt float 8_000.0 & info [ "rate" ] ~doc:"open-loop arrivals/s")
+  in
+  let burst =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "burst" ] ~doc:"bursty arrivals of this size (open loop)")
+  in
+  let clients =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "clients" ] ~doc:"closed-loop clients (overrides --rate)")
+  in
+  let requests = Arg.(value & opt int 2_000 & info [ "requests" ]) in
+  let seed = Arg.(value & opt int 11 & info [ "seed" ]) in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ]
+          ~doc:"Write server + replica timelines as Chrome trace-event JSON")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve inference on simulated replicas with dynamic batching")
+    Term.(
+      const run_serve $ model $ strategy $ device $ replicas $ max_batch
+      $ timeout $ queue $ slo $ policy $ rate $ burst $ clients $ requests
+      $ seed $ trace_out)
+
 let () =
   let doc = "Swift-for-TensorFlow-in-OCaml platform driver" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "s4o" ~doc) [ train_cmd; trace_cmd; spline_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "s4o" ~doc)
+          [ train_cmd; trace_cmd; spline_cmd; serve_cmd ]))

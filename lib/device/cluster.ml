@@ -3,13 +3,20 @@ type t = {
   spec : Device_spec.t;
   link_bandwidth : float;
   hop_latency : float;
+  straggler : float;
 }
 
-let create ?(link_bandwidth = 25e9) ?(hop_latency = 30e-6) ~cores spec =
+let default_straggler = 0.025
+
+let create ?(link_bandwidth = 25e9) ?(hop_latency = 30e-6)
+    ?(straggler = default_straggler) ~cores spec =
   if cores < 1 then invalid_arg "Cluster.create: need at least one core";
-  { cores; spec; link_bandwidth; hop_latency }
+  if straggler < 0.0 then
+    invalid_arg "Cluster.create: straggler must be non-negative";
+  { cores; spec; link_bandwidth; hop_latency; straggler }
 
 let cores t = t.cores
+let straggler_factor t = t.straggler
 
 let all_reduce_time t ~bytes =
   if t.cores = 1 then 0.0
@@ -19,8 +26,6 @@ let all_reduce_time t ~bytes =
     (volume /. t.link_bandwidth) +. (2.0 *. (n -. 1.0) *. t.hop_latency)
   end
 
-let straggler_factor = 0.025
-
 let step_time t ~compute ~host ~gradient_bytes =
-  let slowest = compute *. (1.0 +. (straggler_factor *. Float.log (float_of_int t.cores) /. Float.log 2.0 /. 7.0)) in
+  let slowest = compute *. (1.0 +. (t.straggler *. Float.log (float_of_int t.cores) /. Float.log 2.0 /. 7.0)) in
   Float.max host (slowest +. all_reduce_time t ~bytes:gradient_bytes)

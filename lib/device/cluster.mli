@@ -10,14 +10,28 @@
 
 type t
 
+(** Per-step compute jitter applied to the slowest core — synchronous
+    training runs at the speed of the slowest participant. This is the
+    default for {!create}'s [?straggler]: 2.5%, scaled down with cluster
+    size inside {!step_time} so Table 1's per-core erosion stays modest. *)
+val default_straggler : float
+
+(** [create ?link_bandwidth ?hop_latency ?straggler ~cores spec]:
+    [straggler] (default {!default_straggler}) is the per-step compute
+    jitter factor of the slowest core; pass [0.0] for an idealized
+    jitter-free cluster. Raises [Invalid_argument] if negative. *)
 val create :
   ?link_bandwidth:float ->
   ?hop_latency:float ->
+  ?straggler:float ->
   cores:int ->
   Device_spec.t ->
   t
 
 val cores : t -> int
+
+(** The straggler jitter factor this cluster was created with. *)
+val straggler_factor : t -> float
 
 (** Ring all-reduce time for a gradient payload of the given size. *)
 val all_reduce_time : t -> bytes:int -> float
@@ -27,8 +41,3 @@ val all_reduce_time : t -> bytes:int -> float
     all-reduce, overlapped-free (conservative, as in lockstep SPMD), plus the
     per-step host-side time (tracing, cache lookup, input pipeline). *)
 val step_time : t -> compute:float -> host:float -> gradient_bytes:int -> float
-
-(** Straggler model: per-step compute jitter factor applied to the slowest
-    core (defaults to 1.5% — synchronous training runs at the speed of the
-    slowest participant). *)
-val straggler_factor : float

@@ -78,3 +78,17 @@ let desktop_cpu =
     kernel_launch = 5e-8;
     memory_capacity = 32 * 1024 * 1024 * 1024;
   }
+
+let all = [ gtx1080; tpu_v3_core; mobile_cpu; desktop_cpu ]
+
+let of_name s =
+  let strip s = match String.index_opt s '-' with
+    | Some i when String.sub s 0 i = "sim" ->
+        String.sub s (i + 1) (String.length s - i - 1)
+    | _ -> s
+  in
+  let canon s =
+    String.map (function '_' -> '-' | c -> c) (String.lowercase_ascii (strip s))
+  in
+  let wanted = canon s in
+  List.find_opt (fun spec -> canon spec.name = wanted) all

@@ -34,3 +34,11 @@ val mobile_cpu : t
 (** A desktop CPU core, the default when a device is needed but timing is
     not under study. *)
 val desktop_cpu : t
+
+(** Every built-in spec, for enumeration in drivers. *)
+val all : t list
+
+(** Look a built-in spec up by name. Case-insensitive; the ["sim-"] prefix
+    and [_]/[-] distinctions are optional, so ["gtx1080"], ["tpu-v3-core"]
+    and ["sim-desktop-cpu"] all resolve. *)
+val of_name : string -> t option

@@ -194,6 +194,7 @@ let note_recorded t node =
       end
 
 let auto_cuts t = Metrics.counter_value t.c_auto_cuts
+let cache_size t = Hashtbl.length t.cache
 
 let force t node =
   materialize t [ node ];

@@ -84,6 +84,13 @@ val note_recorded : t -> Trace.node -> unit
 val auto_cuts : t -> int
   [@@deprecated "use (stats t).S4o_obs.Stats.auto_cuts"]
 
+(** Number of distinct compiled programs currently cached — one per unique
+    trace fingerprint. A serving workload that buckets its batch shapes
+    keeps this bounded by the bucket count (times distinct models), which is
+    the point of shape bucketing: steady-state traffic hits the cache
+    instead of growing it. *)
+val cache_size : t -> int
+
 (** Force a node's concrete contents: materializes if needed and blocks the
     simulated host until the device drains. Raises [Invalid_argument] for
     timing-only nodes. *)

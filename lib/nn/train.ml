@@ -39,6 +39,15 @@ module Make (Bk : Backend_intf.S) = struct
     opt.Opt.step ();
     { loss; logits }
 
+  (** Batched inference entry point (the serving path): one forward pass
+      with no tape or optimizer state. Does {e not} observe the result, so
+      on the lazy backend the whole batch stays one pending trace — the
+      serving runtime cuts it with a barrier, keeping each bucketed batch
+      shape a single cache-able program. *)
+  let predict model images =
+    let ctx = L.D.new_ctx () in
+    L.D.value (L.apply model ctx (L.D.const images))
+
   type epoch_stats = { mean_loss : float; accuracy : float }
 
   let accuracy_of_logits logits (labels : int array) =

@@ -8,6 +8,8 @@ type histogram = {
   mutable max_v : float;
   buckets : float array;  (* upper bounds, ascending; +inf implicit *)
   bucket_counts : int array;  (* length = Array.length buckets + 1 *)
+  mutable sample_buf : float array;  (* every observation, for exact quantiles *)
+  mutable n_samples : int;  (* used prefix of [samples] *)
 }
 
 type metric =
@@ -53,6 +55,8 @@ let histogram ?(buckets = default_buckets) t name =
         max_v = neg_infinity;
         buckets;
         bucket_counts = Array.make (Array.length buckets + 1) 0;
+        sample_buf = Array.make 64 0.0;
+        n_samples = 0;
       }
   in
   match register t name h with
@@ -75,6 +79,13 @@ let observe h v =
   h.sum <- h.sum +. v;
   if v < h.min_v then h.min_v <- v;
   if v > h.max_v then h.max_v <- v;
+  if h.n_samples = Array.length h.sample_buf then begin
+    let bigger = Array.make (2 * Array.length h.sample_buf) 0.0 in
+    Array.blit h.sample_buf 0 bigger 0 h.n_samples;
+    h.sample_buf <- bigger
+  end;
+  h.sample_buf.(h.n_samples) <- v;
+  h.n_samples <- h.n_samples + 1;
   let rec place i =
     if i >= Array.length h.buckets then Array.length h.buckets
     else if v <= h.buckets.(i) then i
@@ -88,6 +99,55 @@ let hist_sum h = h.sum
 let hist_max h = if h.n = 0 then 0.0 else h.max_v
 let hist_min h = if h.n = 0 then 0.0 else h.min_v
 let hist_mean h = if h.n = 0 then 0.0 else h.sum /. float_of_int h.n
+
+let quantile h q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Metrics.quantile: q outside [0, 1]";
+  if h.n_samples = 0 then 0.0
+  else begin
+    let sorted = Array.sub h.sample_buf 0 h.n_samples in
+    Array.sort Float.compare sorted;
+    (* linear interpolation between closest ranks *)
+    let pos = q *. float_of_int (h.n_samples - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = min (h.n_samples - 1) (lo + 1) in
+    let frac = pos -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+type hist_summary = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let summary h =
+  (* one sort for all three quantiles *)
+  if h.n_samples = 0 then
+    { count = 0; mean = 0.0; min = 0.0; max = 0.0; p50 = 0.0; p90 = 0.0; p99 = 0.0 }
+  else begin
+    let sorted = Array.sub h.sample_buf 0 h.n_samples in
+    Array.sort Float.compare sorted;
+    let at q =
+      let pos = q *. float_of_int (h.n_samples - 1) in
+      let lo = int_of_float (Float.floor pos) in
+      let hi = Stdlib.min (h.n_samples - 1) (lo + 1) in
+      let frac = pos -. float_of_int lo in
+      sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+    in
+    {
+      count = h.n;
+      mean = hist_mean h;
+      min = hist_min h;
+      max = hist_max h;
+      p50 = at 0.5;
+      p90 = at 0.9;
+      p99 = at 0.99;
+    }
+  end
 
 let hist_buckets h =
   Array.to_list
@@ -132,6 +192,7 @@ let reset t =
           h.sum <- 0.0;
           h.min_v <- infinity;
           h.max_v <- neg_infinity;
+          h.n_samples <- 0;
           Array.fill h.bucket_counts 0 (Array.length h.bucket_counts) 0)
     t.tbl
 

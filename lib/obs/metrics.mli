@@ -42,6 +42,27 @@ val hist_mean : histogram -> float
 val hist_max : histogram -> float
 val hist_min : histogram -> float
 
+(** [quantile h q] is the exact [q]-quantile ([0 ≤ q ≤ 1]) of every sample
+    observed so far, with linear interpolation between closest ranks; [0] if
+    the histogram is empty. Raises [Invalid_argument] outside [\[0, 1\]].
+    (Histograms retain all samples — simulation-scale cardinalities — so
+    quantiles are exact, not bucket-interpolated.) *)
+val quantile : histogram -> float -> float
+
+type hist_summary = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+(** The standard latency-style readout (count/mean/min/max/p50/p90/p99) in
+    one pass; zeros if the histogram is empty. *)
+val summary : histogram -> hist_summary
+
 (** [(upper_bound, count)] per bucket; the last bucket's bound is
     [infinity]. *)
 val hist_buckets : histogram -> (float * int) list

@@ -1,0 +1,92 @@
+(** The dynamic batcher: an admission queue that coalesces requests into
+    batches, padded up to {e bucketed} batch shapes.
+
+    A batch fires when either [max_batch] requests are waiting or the oldest
+    request has waited [timeout] (the server may shrink the effective timeout
+    under pressure — degraded mode). Padding the real occupancy up to a fixed
+    bucket means the runtimes only ever see a handful of distinct batch
+    shapes, so on the lazy path the trace fingerprint repeats and the
+    compiled-program cache stays hot ({!S4o_lazy.Lazy_runtime.cache_size}
+    stays bounded by the bucket count) instead of recompiling per occupancy. *)
+
+type t = {
+  max_batch : int;
+  timeout : float;
+  buckets : int array;  (** Ascending; last element >= [max_batch]. *)
+  queue : Request.t Queue.t;
+}
+
+(* Powers of two up to and including max_batch. *)
+let default_buckets max_batch =
+  let rec up acc b = if b >= max_batch then List.rev (max_batch :: acc)
+    else up (b :: acc) (2 * b)
+  in
+  up [] 1
+
+let create ?buckets ~max_batch ~timeout () =
+  if max_batch < 1 then invalid_arg "Batcher.create: max_batch must be >= 1";
+  if timeout < 0.0 then invalid_arg "Batcher.create: timeout must be >= 0";
+  let buckets =
+    match buckets with
+    | None -> default_buckets max_batch
+    | Some [] -> invalid_arg "Batcher.create: buckets must be non-empty"
+    | Some bs ->
+        if List.exists (fun b -> b < 1) bs then
+          invalid_arg "Batcher.create: buckets must be positive";
+        let bs = List.sort_uniq compare bs in
+        (* Every batch we take has <= max_batch members, so as long as some
+           bucket covers max_batch every occupancy rounds up to a bucket. *)
+        if List.for_all (fun b -> b < max_batch) bs then bs @ [ max_batch ]
+        else bs
+  in
+  { max_batch; timeout; buckets = Array.of_list buckets; queue = Queue.create () }
+
+let max_batch t = t.max_batch
+let timeout t = t.timeout
+let buckets t = Array.to_list t.buckets
+let length t = Queue.length t.queue
+let is_empty t = Queue.is_empty t.queue
+let is_full t = Queue.length t.queue >= t.max_batch
+let enqueue t r = Queue.add r t.queue
+let peek t = Queue.peek_opt t.queue
+
+(** Arrival time of the oldest queued request, if any. *)
+let oldest_arrival t =
+  Option.map (fun (r : Request.t) -> r.Request.arrival) (Queue.peek_opt t.queue)
+
+(** Latest instant the pending batch may keep waiting before it must fire,
+    under the given effective timeout. *)
+let fire_deadline t ~timeout =
+  Option.map (fun a -> a +. timeout) (oldest_arrival t)
+
+(** Drop expired requests from the front of the queue (deadline-based load
+    shedding happens at batch formation, oldest first). Returns the shed
+    requests. *)
+let shed_expired t ~now =
+  let rec go acc =
+    match Queue.peek_opt t.queue with
+    | Some r when Request.expired r ~now -> go (Queue.pop t.queue :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+(** Dequeue up to [max_batch] requests, FIFO. *)
+let take t =
+  let rec go acc n =
+    if n = 0 then List.rev acc
+    else
+      match Queue.take_opt t.queue with
+      | None -> List.rev acc
+      | Some r -> go (r :: acc) (n - 1)
+  in
+  go [] t.max_batch
+
+(** Smallest bucket that holds [n] requests — the padded shape the replica
+    actually runs. *)
+let bucket_for t n =
+  if n < 1 then invalid_arg "Batcher.bucket_for: n must be >= 1";
+  match Array.find_opt (fun b -> b >= n) t.buckets with
+  | Some b -> b
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Batcher.bucket_for: no bucket holds %d requests" n)

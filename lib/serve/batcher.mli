@@ -1,0 +1,35 @@
+(** Dynamic batching with bucketed batch shapes (see the .ml header for the
+    cache-locality rationale). *)
+
+type t
+
+(** [create ?buckets ~max_batch ~timeout ()]. [buckets] defaults to the
+    powers of two up to [max_batch]; a custom list is sorted, deduplicated,
+    and extended with [max_batch] if nothing covers it. *)
+val create : ?buckets:int list -> max_batch:int -> timeout:float -> unit -> t
+
+val max_batch : t -> int
+val timeout : t -> float
+val buckets : t -> int list
+val length : t -> int
+val is_empty : t -> bool
+
+(** [max_batch] requests are waiting: fire now (replica permitting). *)
+val is_full : t -> bool
+
+val enqueue : t -> Request.t -> unit
+val peek : t -> Request.t option
+val oldest_arrival : t -> float option
+
+(** [fire_deadline t ~timeout]: when the pending batch must fire under the
+    given {e effective} timeout (degraded mode passes a shrunken one). *)
+val fire_deadline : t -> timeout:float -> float option
+
+(** Shed already-expired requests from the queue front; returns them. *)
+val shed_expired : t -> now:float -> Request.t list
+
+(** Dequeue up to [max_batch] requests, FIFO. *)
+val take : t -> Request.t list
+
+(** Smallest bucket holding [n] requests. *)
+val bucket_for : t -> int -> int

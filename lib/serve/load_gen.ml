@@ -1,0 +1,67 @@
+(** Deterministic arrival processes for the load generator.
+
+    All randomness flows through the splittable SplitMix64 {!S4o_tensor.Prng},
+    so a (process, seed) pair always produces the identical arrival trace —
+    sweeps are reproducible run to run and machine to machine. *)
+
+type process =
+  | Uniform of { rate : float }
+      (** Deterministic spacing: one arrival every [1/rate] seconds. *)
+  | Poisson of { rate : float }
+      (** Memoryless open-loop traffic: exponential inter-arrival gaps with
+          mean [1/rate]. *)
+  | Bursty of { rate : float; burst : int }
+      (** Flash-crowd traffic: groups of [burst] simultaneous arrivals,
+          groups spaced by exponential gaps with mean [burst/rate], so the
+          long-run offered rate still averages [rate]. *)
+
+let rate = function
+  | Uniform { rate } | Poisson { rate } | Bursty { rate; _ } -> rate
+
+let name = function
+  | Uniform _ -> "uniform"
+  | Poisson _ -> "poisson"
+  | Bursty _ -> "bursty"
+
+let validate p =
+  if rate p <= 0.0 then invalid_arg "Load_gen: rate must be positive";
+  match p with
+  | Bursty { burst; _ } when burst < 1 ->
+      invalid_arg "Load_gen: burst must be at least 1"
+  | _ -> ()
+
+(* Exponential variate with the given mean; 1 -. u keeps the log argument in
+   (0, 1]. *)
+let exponential rng ~mean = -.mean *. Float.log (1.0 -. S4o_tensor.Prng.float rng)
+
+(** [arrivals p ~seed ~n] returns [n] non-decreasing arrival times starting
+    at the first gap after t = 0. *)
+let arrivals p ~seed ~n =
+  validate p;
+  if n < 0 then invalid_arg "Load_gen.arrivals: n must be non-negative";
+  let rng = S4o_tensor.Prng.create seed in
+  let times = Array.make n 0.0 in
+  (match p with
+  | Uniform { rate } ->
+      let gap = 1.0 /. rate in
+      for i = 0 to n - 1 do
+        times.(i) <- float_of_int (i + 1) *. gap
+      done
+  | Poisson { rate } ->
+      let t = ref 0.0 in
+      for i = 0 to n - 1 do
+        t := !t +. exponential rng ~mean:(1.0 /. rate);
+        times.(i) <- !t
+      done
+  | Bursty { rate; burst } ->
+      let t = ref 0.0 in
+      let i = ref 0 in
+      while !i < n do
+        t := !t +. exponential rng ~mean:(float_of_int burst /. rate);
+        let members = min burst (n - !i) in
+        for _ = 1 to members do
+          times.(!i) <- !t;
+          incr i
+        done
+      done);
+  times

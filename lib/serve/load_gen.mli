@@ -1,0 +1,19 @@
+(** Deterministic open-loop arrival processes (closed-loop pacing lives in
+    {!Server}, because it depends on completion times). *)
+
+type process =
+  | Uniform of { rate : float }
+  | Poisson of { rate : float }
+  | Bursty of { rate : float; burst : int }
+
+(** Long-run offered rate, requests per simulated second. *)
+val rate : process -> float
+
+val name : process -> string
+
+(** Raises [Invalid_argument] on a non-positive rate or burst. *)
+val validate : process -> unit
+
+(** [arrivals p ~seed ~n]: [n] non-decreasing simulated arrival times,
+    identical for identical inputs. *)
+val arrivals : process -> seed:int -> n:int -> float array

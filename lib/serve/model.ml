@@ -1,0 +1,58 @@
+(** Servable models: the [s4o_nn] architectures a replica can host, plus a
+    way to capture their forward pass as an HLO graph at a given batch size.
+
+    Capture goes through a scratch lazy backend whose placeholder input never
+    executes — [Lazy_backend.capture] lowers the pending trace to HLO without
+    charging any simulated cost — so both execution paths of a replica start
+    from the same graph the training benchmarks use: the lazy path re-traces
+    the live model each batch, and the op-by-op path replays these captured
+    compute nodes kernel by kernel. *)
+
+type kind = Lenet | Resnet_tiny | Mlp
+
+let all = [ Lenet; Resnet_tiny; Mlp ]
+
+let name = function
+  | Lenet -> "lenet"
+  | Resnet_tiny -> "resnet-tiny"
+  | Mlp -> "mlp"
+
+let of_string = function
+  | "lenet" -> Some Lenet
+  | "resnet-tiny" | "resnet_tiny" -> Some Resnet_tiny
+  | "mlp" -> Some Mlp
+  | _ -> None
+
+(* Fixed per-model input geometry (batch is the only free dimension):
+   LeNet wants Figure 6's 28x28x1 MNIST images; the tiny ResNet runs on
+   16x16x3 patches as in the CLI ablations; the MLP takes 16 features. *)
+let input_shape kind ~batch =
+  if batch < 1 then invalid_arg "Model.input_shape: batch must be positive";
+  match kind with
+  | Lenet -> [| batch; 28; 28; 1 |]
+  | Resnet_tiny -> [| batch; 16; 16; 3 |]
+  | Mlp -> [| batch; 16 |]
+
+(* One weight seed everywhere so every replica of a deployment hosts the
+   same parameters, whichever execution path it uses. *)
+let weight_seed = 7
+
+let capture_forward kind ~batch =
+  let engine = S4o_device.Engine.create S4o_device.Device_spec.desktop_cpu in
+  let rt = S4o_lazy.Lazy_runtime.create engine in
+  let module Bk = S4o_lazy.Lazy_backend.Make (struct
+    let rt = rt
+  end) in
+  let module M = S4o_nn.Models.Make (Bk) in
+  let module T = S4o_nn.Train.Make (Bk) in
+  let rng = S4o_tensor.Prng.create weight_seed in
+  let model =
+    match kind with
+    | Lenet -> M.lenet rng
+    | Resnet_tiny ->
+        M.resnet rng ~in_channels:3 (M.resnet_tiny_config ~classes:10)
+    | Mlp -> M.mlp rng ~inputs:16 ~hidden:64 ~outputs:10
+  in
+  let input = Bk.placeholder (input_shape kind ~batch) in
+  let logits = T.predict model input in
+  Bk.capture [ logits ]

@@ -1,0 +1,20 @@
+(** Servable models and forward-graph capture. *)
+
+type kind = Lenet | Resnet_tiny | Mlp
+
+val all : kind list
+val name : kind -> string
+val of_string : string -> kind option
+
+(** The model's input shape at a given batch size (batch is the leading and
+    only free dimension). Raises [Invalid_argument] if [batch < 1]. *)
+val input_shape : kind -> batch:int -> S4o_tensor.Shape.t
+
+(** Weight-initialization seed shared by every replica of a deployment. *)
+val weight_seed : int
+
+(** [capture_forward kind ~batch] traces one inference forward pass at
+    [batch] through a scratch lazy backend and returns it as an HLO graph,
+    charging no simulated time. Op-by-op replicas replay its compute nodes;
+    one captured graph per bucketed batch shape. *)
+val capture_forward : kind -> batch:int -> S4o_xla.Hlo.graph

@@ -1,0 +1,48 @@
+(** A serving replica: private engine + runtime, running padded batches
+    either on a live lazy stack or by op-by-op replay of the captured
+    forward graph (see the .ml header). *)
+
+type strategy = Lazy_tensor | Op_by_op of S4o_frameworks.Strategy.t
+
+val lazy_tensor : strategy
+val eager : strategy
+val pytorch_like : strategy
+val strategy_name : strategy -> string
+
+(** Recognises ["lazy"], ["eager"], ["pytorch"]. *)
+val strategy_of_string : string -> strategy option
+
+type t
+
+(** [create ?record ~id ~spec strategy kind]. [record:false] builds the
+    replica on a disabled recorder — sweeps stay cheap; single runs keep
+    full timelines for Chrome-trace export. *)
+val create :
+  ?record:bool -> id:int -> spec:S4o_device.Device_spec.t ->
+  strategy -> Model.kind -> t
+
+val id : t -> int
+val engine : t -> S4o_device.Engine.t
+
+(** Simulated time at which the replica next idles (0 before any batch). *)
+val free_at : t -> float
+
+val batches : t -> int
+
+(** Padded slots executed; [slots - completed] over all replicas is the
+    padding overhead. *)
+val slots : t -> int
+
+(** Lazy path: compiled-program cache hits/misses; zero on the replay path. *)
+val cache_hits : t -> int
+
+val cache_misses : t -> int
+
+(** Distinct compiled programs (lazy) or captured graphs (replay) — bounded
+    by the bucket count when shape bucketing works. *)
+val compiled_programs : t -> int
+
+(** [run_batch t ~now ~batch] runs one padded batch dispatched at simulated
+    time [now >= free_at t]; returns the completion time. Raises
+    [Invalid_argument] if the replica is still busy at [now]. *)
+val run_batch : t -> now:float -> batch:int -> float

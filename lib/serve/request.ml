@@ -1,0 +1,21 @@
+(** One inference request flowing through the serving stack.
+
+    Requests are points on the {e simulated} clock: they arrive at [arrival],
+    must complete by [deadline] ([arrival + slo]), and the server accounts
+    for every one of them exactly once — completed, shed at admission
+    (bounded queue full), or shed at batch formation (deadline already
+    passed). [client] ties a request back to its closed-loop client so the
+    load generator can pace re-issues; open-loop requests use [client = -1]. *)
+
+type t = {
+  id : int;
+  arrival : float;  (** Simulated seconds. *)
+  deadline : float;  (** [arrival +. slo]. *)
+  client : int;  (** Closed-loop client index, [-1] for open-loop. *)
+}
+
+let create ?(client = -1) ~id ~arrival ~slo () =
+  if slo <= 0.0 then invalid_arg "Request.create: slo must be positive";
+  { id; arrival; deadline = arrival +. slo; client }
+
+let expired t ~now = now > t.deadline

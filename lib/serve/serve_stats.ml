@@ -1,0 +1,112 @@
+(** The serving counterpart of {!S4o_obs.Stats}: one snapshot summarising a
+    whole serving run — request accounting, latency quantiles, throughput,
+    shedding, batching efficiency, and the lazy cache behaviour that shape
+    bucketing is supposed to produce. *)
+
+type t = {
+  model : string;
+  strategy : string;
+  policy : string;
+  replicas : int;
+  max_batch : int;
+  offered : int;  (** Requests presented to admission control. *)
+  completed : int;
+  shed_rejected : int;  (** Dropped at admission: bounded queue full. *)
+  shed_expired : int;  (** Dropped at batch formation: deadline passed. *)
+  slo_violations : int;  (** Completed, but after their deadline. *)
+  batches : int;
+  padded_slots : int;  (** Executed slots beyond real occupancy. *)
+  mean_occupancy : float;  (** Real requests per executed batch. *)
+  duration : float;  (** Makespan: last completion or last event. *)
+  throughput : float;  (** Completed requests per simulated second. *)
+  latency_mean : float;
+  latency_p50 : float;
+  latency_p90 : float;
+  latency_p99 : float;
+  latency_max : float;
+  queue_wait_mean : float;
+  queue_wait_p99 : float;
+  warmup_seconds : float;  (** Pre-traffic JIT warmup (0 when disabled). *)
+  degraded_seconds : float;  (** Simulated time spent in degraded mode. *)
+  cache_hits : int;
+  cache_misses : int;
+  compiled_programs : int;  (** Across replicas; bounded by buckets. *)
+}
+
+let shed t = t.shed_rejected + t.shed_expired
+
+let shed_rate t =
+  if t.offered = 0 then 0.0 else float_of_int (shed t) /. float_of_int t.offered
+
+let violation_rate t =
+  if t.completed = 0 then 0.0
+  else float_of_int t.slo_violations /. float_of_int t.completed
+
+let ms v = Printf.sprintf "%.3f ms" (1e3 *. v)
+
+let rows t =
+  [
+    ("model", t.model);
+    ("strategy", t.strategy);
+    ("policy", t.policy);
+    ("replicas", string_of_int t.replicas);
+    ("max batch", string_of_int t.max_batch);
+    ("offered", string_of_int t.offered);
+    ("completed", string_of_int t.completed);
+    ("shed (queue full)", string_of_int t.shed_rejected);
+    ("shed (expired)", string_of_int t.shed_expired);
+    ("shed rate", Printf.sprintf "%.1f%%" (100.0 *. shed_rate t));
+    ("SLO violations", string_of_int t.slo_violations);
+    ("batches", string_of_int t.batches);
+    ("mean occupancy", Printf.sprintf "%.2f" t.mean_occupancy);
+    ("padded slots", string_of_int t.padded_slots);
+    ("throughput", Printf.sprintf "%.0f req/s" t.throughput);
+    ("latency p50", ms t.latency_p50);
+    ("latency p90", ms t.latency_p90);
+    ("latency p99", ms t.latency_p99);
+    ("latency max", ms t.latency_max);
+    ("queue wait mean", ms t.queue_wait_mean);
+    ("queue wait p99", ms t.queue_wait_p99);
+    ("warmup", Printf.sprintf "%.3f s" t.warmup_seconds);
+    ("degraded time", Printf.sprintf "%.3f s" t.degraded_seconds);
+    ("cache hits", string_of_int t.cache_hits);
+    ("cache misses", string_of_int t.cache_misses);
+    ("compiled programs", string_of_int t.compiled_programs);
+  ]
+
+let pp ppf t =
+  List.iter (fun (k, v) -> Format.fprintf ppf "%-18s %s@." k v) (rows t)
+
+let to_json t =
+  let open S4o_obs.Json in
+  Obj
+    [
+      ("model", Str t.model);
+      ("strategy", Str t.strategy);
+      ("policy", Str t.policy);
+      ("replicas", Num (float_of_int t.replicas));
+      ("max_batch", Num (float_of_int t.max_batch));
+      ("offered", Num (float_of_int t.offered));
+      ("completed", Num (float_of_int t.completed));
+      ("shed_rejected", Num (float_of_int t.shed_rejected));
+      ("shed_expired", Num (float_of_int t.shed_expired));
+      ("shed_rate", Num (shed_rate t));
+      ("slo_violations", Num (float_of_int t.slo_violations));
+      ("batches", Num (float_of_int t.batches));
+      ("padded_slots", Num (float_of_int t.padded_slots));
+      ("mean_occupancy", Num t.mean_occupancy);
+      ("duration_seconds", Num t.duration);
+      ("throughput_rps", Num t.throughput);
+      ("latency_mean_seconds", Num t.latency_mean);
+      ("latency_p50_seconds", Num t.latency_p50);
+      ("latency_p90_seconds", Num t.latency_p90);
+      ("latency_p99_seconds", Num t.latency_p99);
+      ("latency_max_seconds", Num t.latency_max);
+      ("queue_wait_mean_seconds", Num t.queue_wait_mean);
+      ("queue_wait_p99_seconds", Num t.queue_wait_p99);
+      ("warmup_seconds", Num t.warmup_seconds);
+      ("degraded_seconds", Num t.degraded_seconds);
+      ("cache_hits", Num (float_of_int t.cache_hits));
+      ("cache_misses", Num (float_of_int t.cache_misses));
+      ("compiled_programs", Num (float_of_int t.compiled_programs));
+    ]

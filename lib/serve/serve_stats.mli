@@ -1,0 +1,46 @@
+(** One-snapshot summary of a serving run. *)
+
+type t = {
+  model : string;
+  strategy : string;
+  policy : string;
+  replicas : int;
+  max_batch : int;
+  offered : int;
+  completed : int;
+  shed_rejected : int;
+  shed_expired : int;
+  slo_violations : int;
+  batches : int;
+  padded_slots : int;
+  mean_occupancy : float;
+  duration : float;
+  throughput : float;
+  latency_mean : float;
+  latency_p50 : float;
+  latency_p90 : float;
+  latency_p99 : float;
+  latency_max : float;
+  queue_wait_mean : float;
+  queue_wait_p99 : float;
+  warmup_seconds : float;
+  degraded_seconds : float;
+  cache_hits : int;
+  cache_misses : int;
+  compiled_programs : int;
+}
+
+(** Total requests shed (admission + expiry). *)
+val shed : t -> int
+
+(** Fraction of offered requests shed; 0 when nothing was offered. *)
+val shed_rate : t -> float
+
+(** Fraction of completed requests that missed their deadline. *)
+val violation_rate : t -> float
+
+(** Label/value pairs for tabular reports. *)
+val rows : t -> (string * string) list
+
+val pp : Format.formatter -> t -> unit
+val to_json : t -> S4o_obs.Json.t

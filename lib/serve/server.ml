@@ -1,0 +1,461 @@
+(** The serving runtime: a discrete-event loop over the simulated clock that
+    admits requests, coalesces them into padded batches, schedules batches
+    onto replicas, and sheds load when the deployment saturates.
+
+    Two event sources drive the loop: the next request arrival (open-loop
+    traces from {!Load_gen}, or closed-loop clients paced by their own
+    completions) and the next batch-fire instant (queue full, or the oldest
+    request's wait hitting the effective batch timeout, gated on a replica
+    being free). Ties admit the arrival first so a just-arrived request can
+    join the firing batch.
+
+    Admission control is a bounded queue: arrivals beyond [queue_capacity]
+    are rejected on the spot. At batch formation, requests whose deadline
+    already passed are shed rather than executed (they would complete late
+    anyway and steal capacity from requests that can still make it). When
+    the queue length crosses [degrade_watermark] the server enters degraded
+    mode and multiplies the batch timeout by [degrade_factor] — trading
+    batching efficiency for queueing delay until the backlog drains to half
+    the watermark (hysteresis, so the mode does not flap). *)
+
+module Engine = S4o_device.Engine
+module Recorder = S4o_obs.Recorder
+module Metrics = S4o_obs.Metrics
+
+type policy = Least_loaded | Round_robin
+
+let policy_name = function
+  | Least_loaded -> "least-loaded"
+  | Round_robin -> "round-robin"
+
+let policy_of_string = function
+  | "least-loaded" | "ll" -> Some Least_loaded
+  | "round-robin" | "rr" -> Some Round_robin
+  | _ -> None
+
+type config = {
+  model : Model.kind;
+  strategy : Replica.strategy;
+  spec : S4o_device.Device_spec.t;
+  replicas : int;
+  max_batch : int;
+  batch_timeout : float;
+  buckets : int list option;  (** [None]: powers of two up to [max_batch]. *)
+  queue_capacity : int;
+  slo : float;  (** Per-request deadline, seconds after arrival. *)
+  policy : policy;
+  degrade_watermark : int;  (** Queue length that enters degraded mode. *)
+  degrade_factor : float;  (** Timeout multiplier while degraded, in [0,1]. *)
+  warmup : bool;
+      (** Run one batch per bucket on every replica before opening to
+          traffic, so steady-state requests never eat a JIT compile (50+ ms
+          simulated). [false] measures cold-start behaviour. *)
+  record : bool;  (** Record full timelines (off for sweeps). *)
+}
+
+let default_config ?(model = Model.Lenet) ?(strategy = Replica.lazy_tensor)
+    ?(spec = S4o_device.Device_spec.gtx1080) ?(replicas = 2) ?(max_batch = 8)
+    ?(batch_timeout = 1e-3) ?buckets ?(queue_capacity = 64) ?(slo = 20e-3)
+    ?(policy = Least_loaded) ?degrade_watermark ?(degrade_factor = 0.25)
+    ?(warmup = true) ?(record = true) () =
+  let degrade_watermark =
+    match degrade_watermark with
+    | Some w -> w
+    | None -> Stdlib.max 1 (queue_capacity / 2)
+  in
+  {
+    model;
+    strategy;
+    spec;
+    replicas;
+    max_batch;
+    batch_timeout;
+    buckets;
+    queue_capacity;
+    slo;
+    policy;
+    degrade_watermark;
+    degrade_factor;
+    warmup;
+    record;
+  }
+
+let validate cfg =
+  if cfg.replicas < 1 then invalid_arg "Server: need at least one replica";
+  if cfg.queue_capacity < 1 then
+    invalid_arg "Server: queue_capacity must be >= 1";
+  if cfg.slo <= 0.0 then invalid_arg "Server: slo must be positive";
+  if cfg.degrade_watermark < 1 then
+    invalid_arg "Server: degrade_watermark must be >= 1";
+  if cfg.degrade_factor < 0.0 || cfg.degrade_factor > 1.0 then
+    invalid_arg "Server: degrade_factor must be in [0, 1]"
+
+type workload =
+  | Open_loop of { process : Load_gen.process; requests : int; seed : int }
+      (** Arrivals ignore the server's state — the saturation probe. *)
+  | Closed_loop of { clients : int; think : float; requests : int; seed : int }
+      (** Each client re-issues [think] seconds after its response (shed
+          counts as an immediate error response). Think times are jittered
+          per-client from [seed] so clients do not march in lockstep. *)
+
+type t = {
+  config : config;
+  stats : Serve_stats.t;
+  server_recorder : Recorder.t;
+  replica_recorders : (string * Recorder.t) list;
+  metrics : Metrics.t;
+}
+
+let stats t = t.stats
+let metrics t = t.metrics
+
+(** ["server"] first, then one process per replica — feed to
+    {!S4o_obs.Chrome_trace.processes_to_file} for a side-by-side timeline. *)
+let recorders t = ("server", t.server_recorder) :: t.replica_recorders
+
+let run ?(on_complete = fun (_ : Request.t) ~latency:(_ : float) -> ())
+    (cfg : config) workload =
+  validate cfg;
+  (match workload with
+  | Open_loop { requests; _ } ->
+      if requests < 0 then invalid_arg "Server.run: requests must be >= 0"
+  | Closed_loop { clients; think; requests; _ } ->
+      if clients < 1 then invalid_arg "Server.run: need at least one client";
+      if think < 0.0 then invalid_arg "Server.run: think must be >= 0";
+      if requests < 0 then invalid_arg "Server.run: requests must be >= 0");
+  let server_rec = Recorder.create ~enabled:cfg.record () in
+  let replicas =
+    Array.init cfg.replicas (fun id ->
+        Replica.create ~record:cfg.record ~id ~spec:cfg.spec cfg.strategy
+          cfg.model)
+  in
+  let batcher =
+    Batcher.create ?buckets:cfg.buckets ~max_batch:cfg.max_batch
+      ~timeout:cfg.batch_timeout ()
+  in
+  let metrics = Metrics.create () in
+  let lat_h = Metrics.histogram metrics "serve.latency_seconds" in
+  let wait_h = Metrics.histogram metrics "serve.queue_wait_seconds" in
+  let occ_h = Metrics.histogram metrics "serve.batch_occupancy" in
+  let c_offered = Metrics.counter metrics "serve.offered" in
+  let c_completed = Metrics.counter metrics "serve.completed" in
+  let c_rejected = Metrics.counter metrics "serve.shed_rejected" in
+  let c_expired = Metrics.counter metrics "serve.shed_expired" in
+  let c_violations = Metrics.counter metrics "serve.slo_violations" in
+  let c_padded = Metrics.counter metrics "serve.padded_slots" in
+
+  (* Pre-warm: run one batch per bucket on every replica so each bucketed
+     shape is traced and compiled before traffic arrives. Arrivals are
+     shifted past the warmup, so steady-state metrics are clean; the compile
+     cost shows up as [warmup_seconds] (and as warmup-time cache misses). *)
+  let sum_over f = Array.fold_left (fun acc r -> acc + f r) 0 replicas in
+  let warmup_end =
+    if not cfg.warmup then 0.0
+    else begin
+      Array.iter
+        (fun r ->
+          List.iter
+            (fun b -> ignore (Replica.run_batch r ~now:(Replica.free_at r) ~batch:b))
+            (Batcher.buckets batcher))
+        replicas;
+      let finish =
+        Array.fold_left
+          (fun acc r -> Stdlib.max acc (Replica.free_at r))
+          0.0 replicas
+      in
+      let span =
+        Recorder.begin_span server_rec Recorder.Host ~cat:"serve"
+          ~args:
+            [ ("buckets", string_of_int (List.length (Batcher.buckets batcher))) ]
+          "warmup" ~at:0.0
+      in
+      Recorder.end_span server_rec span ~at:finish;
+      finish
+    end
+  in
+  let warmup_batches = sum_over Replica.batches in
+
+  let now = ref warmup_end in
+  let last_completion = ref warmup_end in
+  let degraded = ref false in
+  let degraded_since = ref 0.0 in
+  let degraded_total = ref 0.0 in
+  let rr_cursor = ref 0 in
+  let next_id = ref 0 in
+
+  (* Arrival sources. Open loop: a precomputed trace. Closed loop: each
+     client's next issue instant, re-paced by its completions. *)
+  let total_requests =
+    match workload with
+    | Open_loop { requests; _ } | Closed_loop { requests; _ } -> requests
+  in
+  let open_trace =
+    match workload with
+    | Open_loop { process; requests; seed } ->
+        Array.map
+          (fun t -> t +. warmup_end)
+          (Load_gen.arrivals process ~seed ~n:requests)
+    | Closed_loop _ -> [||]
+  in
+  let open_idx = ref 0 in
+  let issued = ref 0 in
+  let client_next =
+    match workload with
+    | Closed_loop { clients; seed; _ } ->
+        (* Stagger first issues uniformly in [0, think] (or [0, 1ms] when
+           think = 0) so the run does not start with a synchronized burst. *)
+        let rng = S4o_tensor.Prng.create seed in
+        let think =
+          match workload with
+          | Closed_loop { think; _ } -> Stdlib.max think 1e-3
+          | Open_loop _ -> assert false
+        in
+        Array.init clients (fun _ ->
+            warmup_end +. S4o_tensor.Prng.uniform rng ~lo:0.0 ~hi:think)
+    | Open_loop _ -> [||]
+  in
+  let think_rng =
+    match workload with
+    | Closed_loop { seed; _ } -> Some (S4o_tensor.Prng.create (seed lxor 0x5eed))
+    | Open_loop _ -> None
+  in
+  (* Jittered think time: +-20% around the nominal, deterministic. *)
+  let next_think think =
+    match think_rng with
+    | Some rng when think > 0.0 ->
+        S4o_tensor.Prng.uniform rng ~lo:(0.8 *. think) ~hi:(1.2 *. think)
+    | _ -> think
+  in
+  let repace client ~at =
+    match workload with
+    | Closed_loop { think; _ } when client >= 0 ->
+        client_next.(client) <- at +. next_think think
+    | _ -> ()
+  in
+  let peek_arrival () =
+    match workload with
+    | Open_loop _ ->
+        if !open_idx < Array.length open_trace then
+          Some (open_trace.(!open_idx), -1)
+        else None
+    | Closed_loop _ ->
+        if !issued >= total_requests then None
+        else begin
+          (* argmin over the (few) clients' next-issue instants *)
+          let b = ref 0 in
+          Array.iteri
+            (fun i t -> if t < client_next.(!b) then b := i)
+            client_next;
+          if client_next.(!b) = Float.infinity then
+            None  (* every client is blocked on an in-flight request *)
+          else Some (client_next.(!b), !b)
+        end
+  in
+  let pop_arrival () =
+    match peek_arrival () with
+    | None -> assert false
+    | Some (at, client) ->
+        (match workload with
+        | Open_loop _ -> incr open_idx
+        | Closed_loop _ ->
+            incr issued;
+            (* Until the response comes back (or the request is shed), the
+               client is blocked: push its next issue out of reach. *)
+            client_next.(client) <- Float.infinity);
+        incr next_id;
+        Request.create ~client ~id:!next_id ~arrival:at ~slo:cfg.slo ()
+  in
+
+  let sample_queue () =
+    Recorder.counter server_rec Recorder.Host "queue_len" ~at:!now
+      (float_of_int (Batcher.length batcher))
+  in
+  let effective_timeout () =
+    if !degraded then cfg.batch_timeout *. cfg.degrade_factor
+    else cfg.batch_timeout
+  in
+  let update_degraded () =
+    let q = Batcher.length batcher in
+    if (not !degraded) && q >= cfg.degrade_watermark then begin
+      degraded := true;
+      degraded_since := !now;
+      Recorder.instant server_rec Recorder.Host ~cat:"serve"
+        ~args:[ ("queue", string_of_int q) ]
+        "degrade-enter" ~at:!now
+    end
+    else if !degraded && 2 * q <= cfg.degrade_watermark then begin
+      degraded := false;
+      degraded_total := !degraded_total +. (!now -. !degraded_since);
+      Recorder.instant server_rec Recorder.Host ~cat:"serve"
+        ~args:[ ("queue", string_of_int q) ]
+        "degrade-exit" ~at:!now
+    end
+  in
+
+  let admit req =
+    Metrics.incr c_offered;
+    if Batcher.length batcher >= cfg.queue_capacity then begin
+      Metrics.incr c_rejected;
+      Recorder.instant server_rec Recorder.Host ~cat:"serve"
+        ~args:[ ("id", string_of_int req.Request.id) ]
+        "shed-rejected" ~at:!now;
+      repace req.Request.client ~at:!now
+    end
+    else begin
+      Batcher.enqueue batcher req;
+      sample_queue ()
+    end;
+    update_degraded ()
+  in
+
+  let pick_replica () =
+    match cfg.policy with
+    | Round_robin -> replicas.(!rr_cursor mod cfg.replicas)
+    | Least_loaded ->
+        Array.fold_left
+          (fun best r ->
+            if Replica.free_at r < Replica.free_at best then r else best)
+          replicas.(0) replicas
+  in
+
+  let dispatch rep =
+    (match cfg.policy with
+    | Round_robin -> incr rr_cursor
+    | Least_loaded -> ());
+    let expired = Batcher.shed_expired batcher ~now:!now in
+    List.iter
+      (fun (r : Request.t) ->
+        Metrics.incr c_expired;
+        Recorder.instant server_rec Recorder.Host ~cat:"serve"
+          ~args:[ ("id", string_of_int r.Request.id) ]
+          "shed-expired" ~at:!now;
+        repace r.Request.client ~at:!now)
+      expired;
+    let batch = Batcher.take batcher in
+    sample_queue ();
+    update_degraded ();
+    match batch with
+    | [] -> ()  (* everything pending had expired *)
+    | oldest :: _ ->
+        let n = List.length batch in
+        let padded = Batcher.bucket_for batcher n in
+        Metrics.incr c_padded ~by:(padded - n);
+        Metrics.observe occ_h (float_of_int n);
+        let span =
+          Recorder.begin_span server_rec Recorder.Host ~cat:"serve"
+            ~args:
+              [
+                ("requests", string_of_int n);
+                ("padded", string_of_int padded);
+                ("replica", string_of_int (Replica.id rep));
+              ]
+            "batch-assembly" ~at:oldest.Request.arrival
+        in
+        Recorder.end_span server_rec span ~at:!now;
+        let completion = Replica.run_batch rep ~now:!now ~batch:padded in
+        last_completion := Stdlib.max !last_completion completion;
+        List.iter
+          (fun (r : Request.t) ->
+            let latency = completion -. r.Request.arrival in
+            Metrics.incr c_completed;
+            Metrics.observe lat_h latency;
+            Metrics.observe wait_h (!now -. r.Request.arrival);
+            if completion > r.Request.deadline then Metrics.incr c_violations;
+            on_complete r ~latency;
+            repace r.Request.client ~at:completion)
+          batch
+  in
+
+  (* The event loop: interleave arrivals and batch firings in simulated-time
+     order until both sources are exhausted. *)
+  let rec loop () =
+    let arrival = peek_arrival () in
+    let firing =
+      if Batcher.is_empty batcher then None
+      else begin
+        let rep = pick_replica () in
+        let ready = Stdlib.max !now (Replica.free_at rep) in
+        let at =
+          if Batcher.is_full batcher then ready
+          else
+            match Batcher.fire_deadline batcher ~timeout:(effective_timeout ()) with
+            | Some d -> Stdlib.max ready d
+            | None -> ready
+        in
+        Some (at, rep)
+      end
+    in
+    match (arrival, firing) with
+    | Some (at, _), Some (fire_at, _) when at <= fire_at ->
+        now := Stdlib.max !now at;
+        admit (pop_arrival ());
+        loop ()
+    | _, Some (fire_at, rep) ->
+        now := Stdlib.max !now fire_at;
+        dispatch rep;
+        loop ()
+    | Some (at, _), None ->
+        now := Stdlib.max !now at;
+        admit (pop_arrival ());
+        loop ()
+    | None, None -> ()
+  in
+  loop ();
+  if !degraded then degraded_total := !degraded_total +. (!now -. !degraded_since);
+
+  (* Duration is the traffic interval — warmup is reported separately. *)
+  let duration = Stdlib.max !last_completion !now -. warmup_end in
+  let completed = Metrics.counter_value c_completed in
+  let batches = sum_over Replica.batches - warmup_batches in
+  let lat = Metrics.summary lat_h in
+  let wait = Metrics.summary wait_h in
+  let stats : Serve_stats.t =
+    {
+      model = Model.name cfg.model;
+      strategy = Replica.strategy_name cfg.strategy;
+      policy = policy_name cfg.policy;
+      replicas = cfg.replicas;
+      max_batch = cfg.max_batch;
+      offered = Metrics.counter_value c_offered;
+      completed;
+      shed_rejected = Metrics.counter_value c_rejected;
+      shed_expired = Metrics.counter_value c_expired;
+      slo_violations = Metrics.counter_value c_violations;
+      batches;
+      padded_slots = Metrics.counter_value c_padded;
+      mean_occupancy =
+        (if batches = 0 then 0.0
+         else float_of_int completed /. float_of_int batches);
+      duration;
+      throughput =
+        (if duration <= 0.0 then 0.0
+         else float_of_int completed /. duration);
+      latency_mean = lat.Metrics.mean;
+      latency_p50 = lat.Metrics.p50;
+      latency_p90 = lat.Metrics.p90;
+      latency_p99 = lat.Metrics.p99;
+      latency_max = lat.Metrics.max;
+      queue_wait_mean = wait.Metrics.mean;
+      queue_wait_p99 = wait.Metrics.p99;
+      warmup_seconds = warmup_end;
+      degraded_seconds = !degraded_total;
+      cache_hits = sum_over Replica.cache_hits;
+      cache_misses = sum_over Replica.cache_misses;
+      compiled_programs = sum_over Replica.compiled_programs;
+    }
+  in
+  {
+    config = cfg;
+    stats;
+    server_recorder = server_rec;
+    replica_recorders =
+      Array.to_list
+        (Array.map
+           (fun r ->
+             ( Printf.sprintf "replica-%d" (Replica.id r),
+               Engine.recorder (Replica.engine r) ))
+           replicas);
+    metrics;
+  }
+
+let config t = t.config

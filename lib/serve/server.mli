@@ -1,0 +1,73 @@
+(** The serving runtime: discrete-event loop, replica scheduling, dynamic
+    batching, and SLO-aware admission control (see the .ml header for the
+    event-loop semantics). *)
+
+type policy = Least_loaded | Round_robin
+
+val policy_name : policy -> string
+
+(** Recognises ["least-loaded"]/["ll"] and ["round-robin"]/["rr"]. *)
+val policy_of_string : string -> policy option
+
+type config = {
+  model : Model.kind;
+  strategy : Replica.strategy;
+  spec : S4o_device.Device_spec.t;
+  replicas : int;
+  max_batch : int;
+  batch_timeout : float;
+  buckets : int list option;
+  queue_capacity : int;
+  slo : float;
+  policy : policy;
+  degrade_watermark : int;
+  degrade_factor : float;
+  warmup : bool;
+  record : bool;
+}
+
+(** Sensible defaults: LeNet on lazy replicas over two GTX-1080s, batches of
+    up to 8 with a 1 ms timeout, a 64-deep queue, a 20 ms SLO, least-loaded
+    placement, degraded mode past half the queue, JIT warmup on. *)
+val default_config :
+  ?model:Model.kind ->
+  ?strategy:Replica.strategy ->
+  ?spec:S4o_device.Device_spec.t ->
+  ?replicas:int ->
+  ?max_batch:int ->
+  ?batch_timeout:float ->
+  ?buckets:int list ->
+  ?queue_capacity:int ->
+  ?slo:float ->
+  ?policy:policy ->
+  ?degrade_watermark:int ->
+  ?degrade_factor:float ->
+  ?warmup:bool ->
+  ?record:bool ->
+  unit ->
+  config
+
+type workload =
+  | Open_loop of { process : Load_gen.process; requests : int; seed : int }
+  | Closed_loop of { clients : int; think : float; requests : int; seed : int }
+
+type t
+
+(** Run a workload to completion on the simulated clock. [on_complete] fires
+    per completed request at its completion instant. Deterministic: the same
+    (config, workload) always produces the same result. Raises
+    [Invalid_argument] on nonsensical configs or workloads. *)
+val run :
+  ?on_complete:(Request.t -> latency:float -> unit) -> config -> workload -> t
+
+val config : t -> config
+val stats : t -> Serve_stats.t
+
+(** The server's own metrics registry (latency/queue-wait histograms and the
+    shed/violation counters backing {!stats}). *)
+val metrics : t -> S4o_obs.Metrics.t
+
+(** Named timelines — ["server"] plus one per replica — ready for
+    {!S4o_obs.Chrome_trace.processes_to_file}. Empty recorders when the
+    config disabled recording. *)
+val recorders : t -> (string * S4o_obs.Recorder.t) list

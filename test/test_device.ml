@@ -138,6 +138,24 @@ let test_cluster_step_time_host_bound () =
   let step = Cluster.step_time c ~compute:0.01 ~host:5.0 ~gradient_bytes:1000 in
   Test_util.check_close "host dominates" 5.0 step
 
+let test_cluster_straggler_parameter () =
+  (* straggler is a Cluster.create parameter now, not a hard-coded constant *)
+  let step straggler =
+    let c = Cluster.create ~straggler ~cores:64 Spec.tpu_v3_core in
+    Cluster.step_time c ~compute:0.1 ~host:0.0 ~gradient_bytes:1_000_000
+  in
+  let c = Cluster.create ~cores:64 Spec.tpu_v3_core in
+  Test_util.check_close "default recorded" Cluster.default_straggler
+    (Cluster.straggler_factor c);
+  let ideal = step 0.0 in
+  let all_reduce = Cluster.all_reduce_time c ~bytes:1_000_000 in
+  Test_util.check_close "straggler 0 = compute + all-reduce"
+    (0.1 +. all_reduce) ideal;
+  Test_util.check_true "jitter slows the step" (step 0.05 > ideal);
+  Test_util.check_true "more jitter, slower" (step 0.1 > step 0.05);
+  Test_util.check_raises_any "negative rejected" (fun () ->
+      Cluster.create ~straggler:(-0.1) ~cores:4 Spec.tpu_v3_core)
+
 let test_cluster_per_core_throughput_degrades_slowly () =
   (* the Table 1 property: per-core throughput loss from 16 to 128 cores is
      modest (under 10%) for a ResNet-50-sized gradient *)
@@ -150,6 +168,90 @@ let test_cluster_per_core_throughput_degrades_slowly () =
   let p16 = per_core 16 and p128 = per_core 128 in
   Test_util.check_true "some degradation" (p128 < p16);
   Test_util.check_true "under 10%" (p128 > 0.9 *. p16)
+
+(* {1 Engine invariants, property-based: arbitrary interleavings of host
+   work, kernel dispatches, and syncs must keep the clocks coherent} *)
+
+type engine_action = Spend of float | Dispatch of int * int | Sync
+
+let engine_actions_arb =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 60)
+        (frequency
+           [
+             (3, map (fun us -> Spend (float_of_int us *. 1e-6)) (int_range 1 200));
+             ( 5,
+               map2
+                 (fun flops bytes -> Dispatch (flops, bytes))
+                 (int_range 1 200_000_000) (int_range 4 4_000_000) );
+             (2, return Sync);
+           ]))
+  in
+  let print l =
+    String.concat ";"
+      (List.map
+         (function
+           | Spend s -> Printf.sprintf "spend %.0fus" (1e6 *. s)
+           | Dispatch (f, b) -> Printf.sprintf "dispatch %d/%d" f b
+           | Sync -> "sync")
+         l)
+  in
+  QCheck.make ~print gen
+
+let apply_engine_action engine = function
+  | Spend s -> Engine.spend_host engine s
+  | Dispatch (flops, bytes) ->
+      ignore
+        (Engine.dispatch engine
+           {
+             Op.name = "k";
+             kind = Op.Elementwise;
+             flops;
+             bytes_in = bytes;
+             bytes_out = bytes;
+           })
+  | Sync -> Engine.sync engine
+
+let prop_engine_invariants actions =
+  let engine = Engine.create Spec.gtx1080 in
+  let ok = ref true in
+  let last_host = ref 0.0 in
+  List.iter
+    (fun a ->
+      apply_engine_action engine a;
+      let h = Engine.host_time engine in
+      (* host clock never runs backwards *)
+      if h < !last_host -. 1e-12 then ok := false;
+      last_host := h;
+      (* pipeline depth is never negative *)
+      if Engine.pipeline_depth engine < 0.0 then ok := false)
+    actions;
+  Engine.sync engine;
+  (* after a sync the pipeline is drained *)
+  if Engine.pipeline_depth engine <> 0.0 then ok := false;
+  (* kernels execute serially: device-track spans never overlap *)
+  let device_spans =
+    List.filter
+      (fun (s : S4o_obs.Recorder.span) -> s.S4o_obs.Recorder.track = S4o_obs.Recorder.Device)
+      (S4o_obs.Recorder.spans (Engine.recorder engine))
+  in
+  let sorted =
+    List.sort
+      (fun (a : S4o_obs.Recorder.span) (b : S4o_obs.Recorder.span) ->
+        compare a.S4o_obs.Recorder.start b.S4o_obs.Recorder.start)
+      device_spans
+  in
+  let rec non_overlapping = function
+    | (a : S4o_obs.Recorder.span) :: (b :: _ as rest) ->
+        a.S4o_obs.Recorder.finish >= a.S4o_obs.Recorder.start
+        && b.S4o_obs.Recorder.start >= a.S4o_obs.Recorder.finish -. 1e-12
+        && non_overlapping rest
+    | [ a ] -> a.S4o_obs.Recorder.finish >= a.S4o_obs.Recorder.start
+    | [] -> true
+  in
+  if not (non_overlapping sorted) then ok := false;
+  !ok
 
 let suite =
   let tc = Alcotest.test_case in
@@ -180,7 +282,13 @@ let suite =
         tc "all-reduce grows with cores" `Quick test_cluster_allreduce_grows_with_cores;
         tc "all-reduce grows with bytes" `Quick test_cluster_allreduce_scales_with_bytes;
         tc "host-bound step" `Quick test_cluster_step_time_host_bound;
+        tc "straggler is a create parameter" `Quick test_cluster_straggler_parameter;
         tc "per-core throughput (Table 1 shape)" `Quick
           test_cluster_per_core_throughput_degrades_slowly;
+      ] );
+    ( "device.engine.invariants",
+      [
+        Test_util.qtest ~count:300 "clocks and kernel spans stay coherent"
+          engine_actions_arb prop_engine_invariants;
       ] );
   ]

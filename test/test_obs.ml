@@ -91,6 +91,33 @@ let test_metrics_registry () =
   Test_util.check_int "registrations survive reset" 3
     (List.length (Metrics.snapshot m))
 
+let test_metrics_quantiles () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" in
+  (* 1..100 in scrambled order: quantiles must not depend on arrival order *)
+  let perm = S4o_tensor.Prng.permutation (Prng.create 13) 100 in
+  Array.iter (fun i -> Metrics.observe h (float_of_int (i + 1))) perm;
+  Test_util.check_close "p0 = min" 1.0 (Metrics.quantile h 0.0);
+  Test_util.check_close "p100 = max" 100.0 (Metrics.quantile h 1.0);
+  Test_util.check_close "median interpolates" 50.5 (Metrics.quantile h 0.5);
+  Test_util.check_close "p90" 90.1 (Metrics.quantile h 0.9);
+  Test_util.check_close "p99" 99.01 (Metrics.quantile h 0.99);
+  let s = Metrics.summary h in
+  Test_util.check_int "summary count" 100 s.Metrics.count;
+  Test_util.check_close "summary mean" 50.5 s.Metrics.mean;
+  Test_util.check_close "summary p50" 50.5 s.Metrics.p50;
+  Test_util.check_close "summary p99" 99.01 s.Metrics.p99;
+  Test_util.check_close "summary max" 100.0 s.Metrics.max;
+  Test_util.check_raises_any "q > 1 rejected" (fun () -> Metrics.quantile h 1.5);
+  Metrics.reset m;
+  Test_util.check_close "empty quantile is 0" 0.0 (Metrics.quantile h 0.5);
+  Test_util.check_int "empty summary" 0 (Metrics.summary h).Metrics.count;
+  (* growth across the initial sample-buffer capacity keeps exactness *)
+  for i = 1 to 1000 do
+    Metrics.observe h (float_of_int i)
+  done;
+  Test_util.check_close "p50 after growth" 500.5 (Metrics.quantile h 0.5)
+
 (* {1 Engine instrumentation} *)
 
 let test_clock_monotonicity () =
@@ -344,7 +371,11 @@ let suite =
         tc "span nesting via begin/end" `Quick test_recorder_span_nesting;
         tc "disabled recorder is a no-op" `Quick test_recorder_disabled_is_noop;
       ] );
-    ("obs.metrics", [ tc "registry semantics" `Quick test_metrics_registry ]);
+    ( "obs.metrics",
+      [
+        tc "registry semantics" `Quick test_metrics_registry;
+        tc "histogram quantiles and summary" `Quick test_metrics_quantiles;
+      ] );
     ( "obs.engine",
       [
         tc "simulated clock monotonicity" `Quick test_clock_monotonicity;

@@ -1,0 +1,251 @@
+(** Tests for the serving subsystem (lib/serve): load generation, dynamic
+    batching, admission control, scheduling, and the end-to-end shapes the
+    serving benchmarks rely on. *)
+
+open Test_util
+module Load_gen = S4o_serve.Load_gen
+module Batcher = S4o_serve.Batcher
+module Request = S4o_serve.Request
+module Replica = S4o_serve.Replica
+module Server = S4o_serve.Server
+module Serve_stats = S4o_serve.Serve_stats
+module Model = S4o_serve.Model
+
+(* A small open-loop run; recording off unless a test needs the timeline. *)
+let run_open ?(model = Model.Lenet) ?(strategy = Replica.lazy_tensor)
+    ?(replicas = 2) ?(max_batch = 8) ?batch_timeout ?queue_capacity ?slo
+    ?policy ?warmup ?(record = false) ?(rate = 2000.0) ?(requests = 300) () =
+  let cfg =
+    Server.default_config ~model ~strategy ~replicas ~max_batch ?batch_timeout
+      ?queue_capacity ?slo ?policy ?warmup ~record ()
+  in
+  Server.run cfg
+    (Server.Open_loop
+       { process = Load_gen.Poisson { rate }; requests; seed = 11 })
+
+let test_load_gen () =
+  let uniform = Load_gen.arrivals (Load_gen.Uniform { rate = 100.0 }) ~seed:1 ~n:5 in
+  check_float_array "uniform spacing" [| 0.01; 0.02; 0.03; 0.04; 0.05 |] uniform;
+  let a = Load_gen.arrivals (Load_gen.Poisson { rate = 500.0 }) ~seed:42 ~n:2000 in
+  let b = Load_gen.arrivals (Load_gen.Poisson { rate = 500.0 }) ~seed:42 ~n:2000 in
+  check_float_array "poisson deterministic per seed" a b;
+  let c = Load_gen.arrivals (Load_gen.Poisson { rate = 500.0 }) ~seed:43 ~n:2000 in
+  check_true "different seed, different trace" (a <> c);
+  Array.iteri
+    (fun i t -> if i > 0 then check_true "non-decreasing" (t >= a.(i - 1)))
+    a;
+  let observed_rate = 2000.0 /. a.(1999) in
+  check_true "poisson rate within 20% of nominal"
+    (observed_rate > 400.0 && observed_rate < 600.0);
+  let bursty =
+    Load_gen.arrivals (Load_gen.Bursty { rate = 500.0; burst = 4 }) ~seed:7 ~n:16
+  in
+  for g = 0 to 3 do
+    for i = 1 to 3 do
+      check_float "burst members arrive together" bursty.((4 * g))
+        bursty.((4 * g) + i)
+    done
+  done;
+  check_raises_any "non-positive rate rejected" (fun () ->
+      Load_gen.validate (Load_gen.Poisson { rate = 0.0 }));
+  check_raises_any "non-positive burst rejected" (fun () ->
+      Load_gen.validate (Load_gen.Bursty { rate = 1.0; burst = 0 }))
+
+let test_batcher () =
+  let b = Batcher.create ~max_batch:8 ~timeout:1e-3 () in
+  Alcotest.(check (list int)) "default buckets are powers of two" [ 1; 2; 4; 8 ]
+    (Batcher.buckets b);
+  check_int "bucket_for rounds up" 4 (Batcher.bucket_for b 3);
+  check_int "bucket_for exact" 8 (Batcher.bucket_for b 8);
+  let custom = Batcher.create ~buckets:[ 3 ] ~max_batch:8 ~timeout:0.0 () in
+  Alcotest.(check (list int)) "custom buckets extended to cover max_batch"
+    [ 3; 8 ] (Batcher.buckets custom);
+  let req id arrival = Request.create ~id ~arrival ~slo:10e-3 () in
+  for i = 1 to 10 do
+    Batcher.enqueue b (req i (float_of_int i *. 1e-4))
+  done;
+  check_true "full past max_batch" (Batcher.is_full b);
+  Alcotest.(check (option (float 1e-12))) "fire deadline = oldest + timeout"
+    (Some (1e-4 +. 1e-3))
+    (Batcher.fire_deadline b ~timeout:1e-3);
+  let taken = Batcher.take b in
+  check_int "take caps at max_batch" 8 (List.length taken);
+  check_int "fifo order" 1 (List.hd taken).Request.id;
+  check_int "remainder still queued" 2 (Batcher.length b);
+  (* request 9 expires at 10.9ms, request 10 at 11.0ms *)
+  let shed = Batcher.shed_expired b ~now:0.01095 in
+  check_int "first leftover expired" 1 (List.length shed);
+  check_int "later request survives" 1 (Batcher.length b);
+  check_raises_any "zero max_batch rejected" (fun () ->
+      Batcher.create ~max_batch:0 ~timeout:0.0 ())
+
+let test_accounting () =
+  let t = run_open () in
+  let s = Server.stats t in
+  check_int "every request offered" 300 s.Serve_stats.offered;
+  check_int "offered = completed + shed"
+    s.Serve_stats.offered
+    (s.Serve_stats.completed + Serve_stats.shed s);
+  check_true "some batches ran" (s.Serve_stats.batches > 0);
+  check_true "occupancy within max_batch"
+    (s.Serve_stats.mean_occupancy <= float_of_int s.Serve_stats.max_batch);
+  check_true "throughput positive" (s.Serve_stats.throughput > 0.0);
+  check_true "latencies ordered"
+    (s.Serve_stats.latency_p50 <= s.Serve_stats.latency_p99
+    && s.Serve_stats.latency_p99 <= s.Serve_stats.latency_max);
+  (* deterministic: identical run, identical snapshot *)
+  let s' = Server.stats (run_open ()) in
+  check_true "deterministic stats" (s = s')
+
+let test_bucketed_cache () =
+  let t = run_open ~requests:400 () in
+  let s = Server.stats t in
+  (* 4 buckets (1/2/4/8) x 2 replicas bounds the compiled-program count *)
+  check_true "compiled programs bounded by buckets x replicas"
+    (s.Serve_stats.compiled_programs <= 8);
+  check_true "steady state hits the cache"
+    (s.Serve_stats.cache_hits > s.Serve_stats.cache_misses);
+  check_true "warmup misses happened" (s.Serve_stats.cache_misses > 0)
+
+let test_lazy_beats_eager () =
+  (* Saturating load turns throughput into a capacity measurement: the lazy
+     path's fused kernels and 16us/op re-trace beat 50us/op eager dispatch. *)
+  let capacity strategy =
+    (Server.stats
+       (run_open ~strategy ~rate:200000.0 ~requests:400 ~queue_capacity:128 ()))
+      .Serve_stats.throughput
+  in
+  let lazy_cap = capacity Replica.lazy_tensor in
+  let eager_cap = capacity Replica.eager in
+  check_true "lazy capacity beats eager" (lazy_cap > eager_cap);
+  check_true "eager still serves" (eager_cap > 0.0)
+
+let test_shedding_and_degraded_mode () =
+  let calm = Server.stats (run_open ~rate:500.0 ~requests:200 ()) in
+  check_int "no shedding below saturation" 0 (Serve_stats.shed calm);
+  check_int "no violations below saturation" 0 calm.Serve_stats.slo_violations;
+  check_float "no degraded time below saturation" 0.0
+    calm.Serve_stats.degraded_seconds;
+  let hot =
+    Server.stats
+      (run_open ~rate:500000.0 ~requests:600 ~queue_capacity:16 ~slo:5e-3 ())
+  in
+  check_true "overload sheds at admission" (hot.Serve_stats.shed_rejected > 0);
+  check_true "shed rate positive past saturation" (Serve_stats.shed_rate hot > 0.0);
+  check_true "overload triggers degraded mode"
+    (hot.Serve_stats.degraded_seconds > 0.0)
+
+let test_cold_start () =
+  (* Without warmup the first batches eat 50+ ms JIT compiles on the
+     serving path, blowing deadlines; warmup moves that cost before t=0. *)
+  let cold = Server.stats (run_open ~warmup:false ~rate:500.0 ~requests:100 ()) in
+  let warm = Server.stats (run_open ~warmup:true ~rate:500.0 ~requests:100 ()) in
+  check_float "cold start reports no warmup time" 0.0
+    cold.Serve_stats.warmup_seconds;
+  check_true "warmup takes simulated time" (warm.Serve_stats.warmup_seconds > 0.0);
+  check_true "cold start sheds or violates"
+    (Serve_stats.shed cold + cold.Serve_stats.slo_violations > 0);
+  check_int "warmed run serves everything in time" 0
+    (Serve_stats.shed warm + warm.Serve_stats.slo_violations);
+  check_true "warmup compiles every bucket ahead of traffic"
+    (warm.Serve_stats.latency_max < cold.Serve_stats.latency_max)
+
+let test_throughput_rises_with_max_batch () =
+  let capacity max_batch =
+    (Server.stats
+       (run_open ~max_batch ~rate:200000.0 ~requests:400 ~queue_capacity:128 ()))
+      .Serve_stats.throughput
+  in
+  check_true "batching lifts saturated throughput"
+    (capacity 8 > capacity 1);
+  (* At a moderate rate the batcher actually waits for company, so a larger
+     max_batch buys throughput with tail latency. *)
+  let p99 max_batch =
+    (Server.stats (run_open ~max_batch ~batch_timeout:2e-3 ~rate:2000.0 ()))
+      .Serve_stats.latency_p99
+  in
+  check_true "p99 grows with max_batch" (p99 8 > p99 1)
+
+let test_closed_loop () =
+  let cfg = Server.default_config ~record:false () in
+  let t =
+    Server.run cfg
+      (Server.Closed_loop { clients = 8; think = 2e-3; requests = 200; seed = 3 })
+  in
+  let s = Server.stats t in
+  check_int "closed loop offers every request" 200 s.Serve_stats.offered;
+  check_int "closed loop completes every request" 200 s.Serve_stats.completed;
+  check_int "closed loop never sheds at this load" 0 (Serve_stats.shed s);
+  (* 8 clients can never overflow the 64-deep queue, and occupancy is capped
+     by the number of clients *)
+  check_true "occupancy bounded by clients"
+    (s.Serve_stats.mean_occupancy <= 8.0)
+
+let test_policies () =
+  let both_replicas_used policy =
+    let t = run_open ~policy ~rate:50000.0 ~requests:200 () in
+    List.for_all
+      (fun (name, _) -> String.length name > 0)
+      (Server.recorders t)
+    && (Server.stats t).Serve_stats.batches > 0
+  in
+  check_true "least-loaded runs" (both_replicas_used Server.Least_loaded);
+  check_true "round-robin runs" (both_replicas_used Server.Round_robin);
+  Alcotest.(check (option string)) "policy parser" (Some "round-robin")
+    (Option.map Server.policy_name (Server.policy_of_string "rr"))
+
+let test_trace_export () =
+  let t = run_open ~record:true ~requests:60 () in
+  let recs = Server.recorders t in
+  check_int "server + one timeline per replica" 3 (List.length recs);
+  check_string "server timeline first" "server" (fst (List.hd recs));
+  let json = S4o_obs.Chrome_trace.processes_to_string recs in
+  (match S4o_obs.Chrome_trace.validate json with
+  | Ok n -> check_true "trace has events" (n > 0)
+  | Error e -> Alcotest.failf "serve trace failed validation: %s" e);
+  let server_rec = List.assoc "server" recs in
+  check_true "batch-assembly spans recorded"
+    (List.exists
+       (fun (s : S4o_obs.Recorder.span) -> s.S4o_obs.Recorder.name = "batch-assembly")
+       (S4o_obs.Recorder.spans server_rec))
+
+let test_validation () =
+  check_raises_any "zero replicas rejected" (fun () ->
+      Server.run
+        (Server.default_config ~replicas:0 ())
+        (Server.Open_loop
+           { process = Load_gen.Poisson { rate = 1.0 }; requests = 1; seed = 0 }));
+  check_raises_any "degrade_factor above 1 rejected" (fun () ->
+      Server.run
+        (Server.default_config ~degrade_factor:2.0 ())
+        (Server.Open_loop
+           { process = Load_gen.Poisson { rate = 1.0 }; requests = 1; seed = 0 }));
+  check_raises_any "non-positive slo rejected" (fun () ->
+      Request.create ~id:1 ~arrival:0.0 ~slo:0.0 ())
+
+let suite =
+  [
+    ( "serve",
+      [
+        Alcotest.test_case "load generator determinism and shapes" `Quick
+          test_load_gen;
+        Alcotest.test_case "batcher buckets, take, and expiry" `Quick
+          test_batcher;
+        Alcotest.test_case "request accounting is exact" `Quick test_accounting;
+        Alcotest.test_case "shape bucketing keeps the trace cache hot" `Quick
+          test_bucketed_cache;
+        Alcotest.test_case "lazy capacity beats eager" `Quick
+          test_lazy_beats_eager;
+        Alcotest.test_case "shedding and degraded mode under overload" `Quick
+          test_shedding_and_degraded_mode;
+        Alcotest.test_case "JIT warmup vs cold start" `Quick test_cold_start;
+        Alcotest.test_case "throughput rises with max_batch, p99 pays" `Quick
+          test_throughput_rises_with_max_batch;
+        Alcotest.test_case "closed-loop clients complete" `Quick
+          test_closed_loop;
+        Alcotest.test_case "scheduling policies" `Quick test_policies;
+        Alcotest.test_case "chrome trace exports and validates" `Quick
+          test_trace_export;
+        Alcotest.test_case "config validation" `Quick test_validation;
+      ] );
+  ]
