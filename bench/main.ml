@@ -312,22 +312,21 @@ let ablation_inout () =
   let model = I.synthetic_model rng ~layers:8 ~width:512 in
   let grads = I.synthetic_model rng ~layers:8 ~width:512 in
   let model_bytes = I.bytes_of_model model in
-  let allocated f =
-    let before = Gc.allocated_bytes () in
-    f ();
-    Gc.allocated_bytes () -. before
-  in
+  (* Tensor payloads live in Bigarray storage outside the OCaml heap, so
+     [Gc.allocated_bytes] cannot see them; account the freshly created
+     tensors directly instead. *)
   let functional_alloc =
-    allocated (fun () -> ignore (I.functional_update model grads ~lr:0.01))
+    float_of_int (I.bytes_of_model (I.functional_update model grads ~lr:0.01))
   in
   let inplace_alloc =
-    allocated (fun () -> I.inplace_update model grads ~lr:0.01)
+    I.inplace_update model grads ~lr:0.01;
+    0.0
   in
   Report.table
     ~title:
       "Ablation (S4.2): optimizer update, functional (Model -> Model) vs \
        inout (inout Model -> Void)"
-    ~headers:[ "update style"; "bytes allocated per step"; "vs model size" ]
+    ~headers:[ "update style"; "tensor bytes allocated per step"; "vs model size" ]
     ~rows:
       [
         [
@@ -343,8 +342,8 @@ let ablation_inout () =
       ];
   Report.note
     "  model size: %d bytes. The functional update materializes a second \
-     model (plus a scaled-gradient temporary); the inout update allocates \
-     nothing — the S4.2 claim."
+     model (copy + axpy, no scaled-gradient temporary); the inout update \
+     allocates nothing — the S4.2 claim."
     model_bytes
 
 (* ------------------------------------------------------ fusion ablation *)
@@ -709,6 +708,10 @@ let timeline () =
 
 let serve_json = ref false
 
+(* [--quick] shrinks the [kernels] section's problem sizes and measurement
+   windows for CI. *)
+let kernels_quick = ref false
+
 (* The serving benchmark: batch x strategy x rate x replica sweeps over the
    lib/serve runtime. All time is simulated; [--json] additionally writes
    every swept configuration to BENCH_serve.json for CI trending. *)
@@ -1029,6 +1032,10 @@ let sections =
     ("timeline", timeline);
     ("serve", serve);
     ("micro", micro);
+    ( "kernels",
+      fun () ->
+        Kernels.run ~quick:!kernels_quick ~json:!serve_json
+          ~trace_out:!trace_out () );
   ]
 
 let () =
@@ -1044,6 +1051,9 @@ let () =
         exit 1
     | "--json" :: rest ->
         serve_json := true;
+        parse_args acc rest
+    | "--quick" :: rest ->
+        kernels_quick := true;
         parse_args acc rest
     | name :: rest -> parse_args (name :: acc) rest
   in

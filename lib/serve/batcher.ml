@@ -81,6 +81,34 @@ let take t =
   in
   go [] t.max_batch
 
+(** Build the padded batch tensor for a taken batch: one [row]-shaped slot
+    per bucket position, request payloads blitted into the leading slots,
+    everything else (payload-less requests and the padding tail) left at the
+    zero fill. Two in-place primitives — {!Dense.fill} via [zeros] and
+    {!Dense.blit_flat} per payload — instead of a per-element rebuild. *)
+let assemble ~bucket ~row requests =
+  let module Dense = S4o_tensor.Dense in
+  let n = List.length requests in
+  if bucket < n then
+    invalid_arg
+      (Printf.sprintf "Batcher.assemble: %d requests exceed bucket %d" n bucket);
+  let rowlen = S4o_tensor.Shape.numel row in
+  let out = Dense.zeros (Array.append [| bucket |] row) in
+  List.iteri
+    (fun i (r : Request.t) ->
+      match r.Request.payload with
+      | None -> ()
+      | Some p ->
+          if Dense.numel p <> rowlen then
+            invalid_arg
+              (Printf.sprintf
+                 "Batcher.assemble: payload of %d elements for a %d-element row"
+                 (Dense.numel p) rowlen);
+          Dense.blit_flat ~src:p ~src_pos:0 ~dst:out ~dst_pos:(i * rowlen)
+            ~len:rowlen)
+    requests;
+  out
+
 (** Smallest bucket that holds [n] requests — the padded shape the replica
     actually runs. *)
 let bucket_for t n =

@@ -31,5 +31,13 @@ val shed_expired : t -> now:float -> Request.t list
 (** Dequeue up to [max_batch] requests, FIFO. *)
 val take : t -> Request.t list
 
+(** [assemble ~bucket ~row requests] is the padded [\[bucket; row...\]]
+    input tensor for a taken batch: request payloads occupy the leading
+    slots; payload-less requests and the padding tail are zero. Raises
+    [Invalid_argument] if the batch overflows the bucket or a payload does
+    not have [row]'s element count. *)
+val assemble :
+  bucket:int -> row:S4o_tensor.Shape.t -> Request.t list -> S4o_tensor.Dense.t
+
 (** Smallest bucket holding [n] requests. *)
 val bucket_for : t -> int -> int

@@ -12,10 +12,14 @@ type t = {
   arrival : float;  (** Simulated seconds. *)
   deadline : float;  (** [arrival +. slo]. *)
   client : int;  (** Closed-loop client index, [-1] for open-loop. *)
+  payload : S4o_tensor.Dense.t option;
+      (** The input row this request carries, if the caller supplies real
+          data; [None] for purely simulated traffic (the batcher still
+          assembles a zero row for it). *)
 }
 
-let create ?(client = -1) ~id ~arrival ~slo () =
+let create ?(client = -1) ?payload ~id ~arrival ~slo () =
   if slo <= 0.0 then invalid_arg "Request.create: slo must be positive";
-  { id; arrival; deadline = arrival +. slo; client }
+  { id; arrival; deadline = arrival +. slo; client; payload }
 
 let expired t ~now = now > t.deadline

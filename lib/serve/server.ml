@@ -341,12 +341,22 @@ let run ?(on_complete = fun (_ : Request.t) ~latency:(_ : float) -> ())
         let padded = Batcher.bucket_for batcher n in
         Metrics.incr c_padded ~by:(padded - n);
         Metrics.observe occ_h (float_of_int n);
+        (* The real data-plane step: materialize the padded input tensor the
+           replica's model shape calls for (request payloads in the leading
+           rows, zero padding behind them). *)
+        let row_shape =
+          let s = Model.input_shape cfg.model ~batch:1 in
+          Array.sub s 1 (Array.length s - 1)
+        in
+        let assembled = Batcher.assemble ~bucket:padded ~row:row_shape batch in
+        let assembled_bytes = 8 * S4o_tensor.Dense.numel assembled in
         let span =
           Recorder.begin_span server_rec Recorder.Host ~cat:"serve"
             ~args:
               [
                 ("requests", string_of_int n);
                 ("padded", string_of_int padded);
+                ("assembled_bytes", string_of_int assembled_bytes);
                 ("replica", string_of_int (Replica.id rep));
               ]
             "batch-assembly" ~at:oldest.Request.arrival

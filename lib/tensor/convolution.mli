@@ -1,6 +1,15 @@
 (** 2-D convolution and pooling kernels over {!Dense} tensors in NHWC layout,
-    together with the backward kernels reverse-mode AD needs. These are the
-    naive reference kernels: single-threaded direct loops, no im2col. *)
+    together with the backward kernels reverse-mode AD needs.
+
+    The convolutions are im2col + blocked matmul: the patch matrix
+    [\[n*oh*ow; kh*kw*cin\]] is materialized once (in parallel over patch
+    rows) and the O(n^3) work runs through {!Dense.matmul}'s cache-blocked,
+    {!Pool}-parallel kernel. 1x1 stride-1 unpadded convolutions skip the
+    patch copy entirely. Pooling parallelizes over the batch dimension.
+    Small problems (under the matmul serial cutoff) stay on the calling
+    domain, and all partitions are bit-deterministic per the {!Pool}
+    contract. The original direct-loop kernels live on in {!Reference} as
+    the test oracle and benchmark baseline. *)
 
 type padding = Same | Valid
 
@@ -11,11 +20,19 @@ val out_dim : padding -> size:int -> kernel:int -> stride:int -> int
 val pad_amounts : padding -> size:int -> kernel:int -> stride:int -> int * int
 
 (** [conv2d ~stride ~padding input filter] with [input : \[n;h;w;cin\]] and
-    [filter : \[kh;kw;cin;cout\]] produces [\[n;h';w';cout\]]. *)
-val conv2d : ?stride:int * int -> padding:padding -> Dense.t -> Dense.t -> Dense.t
+    [filter : \[kh;kw;cin;cout\]] produces [\[n;h';w';cout\]]. [?domains]
+    overrides the pool width for this call (benchmark scaling sweeps). *)
+val conv2d :
+  ?domains:int ->
+  ?stride:int * int ->
+  padding:padding ->
+  Dense.t ->
+  Dense.t ->
+  Dense.t
 
 (** Gradient of [conv2d] w.r.t. its input. *)
 val conv2d_backward_input :
+  ?domains:int ->
   ?stride:int * int ->
   padding:padding ->
   input_shape:Shape.t ->
@@ -25,6 +42,7 @@ val conv2d_backward_input :
 
 (** Gradient of [conv2d] w.r.t. its filter. *)
 val conv2d_backward_filter :
+  ?domains:int ->
   ?stride:int * int ->
   padding:padding ->
   filter_shape:Shape.t ->

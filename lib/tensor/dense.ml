@@ -1,29 +1,57 @@
-type t = { shape : Shape.t; data : float array }
+module A = Bigarray.Array1
+
+type buffer = (float, Bigarray.float64_elt, Bigarray.c_layout) A.t
+type t = { shape : Shape.t; data : buffer }
 
 exception Shape_error = Shape.Shape_error
 
 let fail fmt = Format.kasprintf (fun s -> raise (Shape_error s)) fmt
+let alloc n : buffer = A.create Bigarray.float64 Bigarray.c_layout n
 
 (* {1 Creation} *)
 
 let create shape v =
   Shape.check_valid shape;
-  { shape = Array.copy shape; data = Array.make (Shape.numel shape) v }
+  let data = alloc (Shape.numel shape) in
+  A.fill data v;
+  { shape = Array.copy shape; data }
 
 let zeros shape = create shape 0.0
 let ones shape = create shape 1.0
-let scalar v = { shape = [||]; data = [| v |] }
 
-let of_array shape data =
+(* Uninitialized storage — kernels-only: every element must be written
+   before the tensor escapes (im2col writes zero spans for padding columns
+   explicitly instead of paying a full pre-fill pass). *)
+let uninit shape =
   Shape.check_valid shape;
-  if Array.length data <> Shape.numel shape then
-    fail "of_array: %d elements for shape %s" (Array.length data)
-      (Shape.to_string shape);
-  { shape = Array.copy shape; data = Array.copy data }
+  { shape = Array.copy shape; data = alloc (Shape.numel shape) }
 
+let scalar v =
+  let data = alloc 1 in
+  A.unsafe_set data 0 v;
+  { shape = [||]; data }
+
+let of_array shape src =
+  Shape.check_valid shape;
+  if Array.length src <> Shape.numel shape then
+    fail "of_array: %d elements for shape %s" (Array.length src)
+      (Shape.to_string shape);
+  let data = alloc (Array.length src) in
+  for i = 0 to Array.length src - 1 do
+    A.unsafe_set data i (Array.unsafe_get src i)
+  done;
+  { shape = Array.copy shape; data }
+
+(* Fills in increasing flat order: PRNG-fed initializers consume their
+   stream element-by-element and rely on it. *)
 let init_flat shape f =
   Shape.check_valid shape;
-  { shape = Array.copy shape; data = Array.init (Shape.numel shape) f }
+  let n = Shape.numel shape in
+  let data = alloc n in
+  for i = 0 to n - 1 do
+    A.unsafe_set data i (f i)
+  done;
+  { shape = Array.copy shape; data }
 
 let init shape f = init_flat shape (fun i -> f (Shape.unravel shape i))
 
@@ -44,39 +72,72 @@ let rand_normal g ?(mean = 0.0) ?(stddev = 1.0) shape =
 
 let shape t = t.shape
 let rank t = Shape.rank t.shape
-let numel t = Array.length t.data
+let numel t = A.dim t.data
 
 let get t idx =
   if Array.length idx <> rank t then
     fail "get: index rank %d for shape %s" (Array.length idx)
       (Shape.to_string t.shape);
-  t.data.(Shape.offset (Shape.strides t.shape) idx)
+  t.data.{Shape.offset (Shape.strides t.shape) idx}
 
-let get_flat t i = t.data.(i)
+let get_flat t i = t.data.{i}
 
 let item t =
   if numel t <> 1 then fail "item: tensor has %d elements" (numel t);
-  t.data.(0)
+  A.unsafe_get t.data 0
 
-let to_array t = Array.copy t.data
+let to_array t = Array.init (numel t) (fun i -> A.unsafe_get t.data i)
 let unsafe_data t = t.data
-let copy t = { shape = Array.copy t.shape; data = Array.copy t.data }
+
+let copy t =
+  let n = numel t in
+  let data = alloc n in
+  A.blit t.data data;
+  { shape = Array.copy t.shape; data }
+
+let with_shape t new_shape =
+  Shape.check_valid new_shape;
+  if Shape.numel new_shape <> numel t then
+    fail "with_shape: %s has %d elements, tensor has %d"
+      (Shape.to_string new_shape) (Shape.numel new_shape) (numel t);
+  { shape = Array.copy new_shape; data = t.data }
 
 (* {1 Functional update} *)
 
 let set t idx v =
   let fresh = copy t in
-  fresh.data.(Shape.offset (Shape.strides t.shape) idx) <- v;
+  fresh.data.{Shape.offset (Shape.strides t.shape) idx} <- v;
   fresh
 
 let set_flat t i v =
   let fresh = copy t in
-  fresh.data.(i) <- v;
+  fresh.data.{i} <- v;
   fresh
 
 (* {1 In-place} *)
 
-let fill_inplace t v = Array.fill t.data 0 (Array.length t.data) v
+let fill ?(pos = 0) ?len t v =
+  let len = match len with Some l -> l | None -> numel t - pos in
+  if pos < 0 || len < 0 || pos + len > numel t then
+    fail "fill: [%d, %d) out of bounds for %d elements" pos (pos + len)
+      (numel t);
+  A.fill (A.sub t.data pos len) v
+
+let fill_inplace t v = fill t v
+
+let blit_flat ~src ~src_pos ~dst ~dst_pos ~len =
+  if len < 0 || src_pos < 0 || src_pos + len > numel src then
+    fail "blit_flat: src range [%d, %d) out of bounds for %d elements" src_pos
+      (src_pos + len) (numel src);
+  if dst_pos < 0 || dst_pos + len > numel dst then
+    fail "blit_flat: dst range [%d, %d) out of bounds for %d elements" dst_pos
+      (dst_pos + len) (numel dst);
+  A.blit (A.sub src.data src_pos len) (A.sub dst.data dst_pos len)
+
+let blit src dst =
+  if numel src <> numel dst then
+    fail "blit: %d elements into %d" (numel src) (numel dst);
+  A.blit src.data dst.data
 
 let check_same_shape ctx a b =
   if not (Shape.equal a.shape b.shape) then
@@ -85,77 +146,273 @@ let check_same_shape ctx a b =
 
 let add_inplace dst src =
   check_same_shape "add_inplace" dst src;
+  let d = dst.data and s = src.data in
   for i = 0 to numel dst - 1 do
-    dst.data.(i) <- dst.data.(i) +. src.data.(i)
+    A.unsafe_set d i (A.unsafe_get d i +. A.unsafe_get s i)
   done
 
 let axpy_inplace ~alpha dst x =
   check_same_shape "axpy_inplace" dst x;
+  let d = dst.data and s = x.data in
   for i = 0 to numel dst - 1 do
-    dst.data.(i) <- dst.data.(i) +. (alpha *. x.data.(i))
+    A.unsafe_set d i (A.unsafe_get d i +. (alpha *. A.unsafe_get s i))
   done
 
 let scale_inplace t alpha =
+  let d = t.data in
   for i = 0 to numel t - 1 do
-    t.data.(i) <- alpha *. t.data.(i)
+    A.unsafe_set d i (alpha *. A.unsafe_get d i)
   done
 
 let add_at_inplace t idx v =
   let off = Shape.offset (Shape.strides t.shape) idx in
-  t.data.(off) <- t.data.(off) +. v
+  t.data.{off} <- t.data.{off} +. v
 
 (* {1 Elementwise} *)
 
-let map f t = { shape = Array.copy t.shape; data = Array.map f t.data }
+let map f t =
+  let n = numel t in
+  let out = alloc n in
+  let d = t.data in
+  for i = 0 to n - 1 do
+    A.unsafe_set out i (f (A.unsafe_get d i))
+  done;
+  { shape = Array.copy t.shape; data = out }
 
-(* Broadcasting binary map. The fast path handles identical shapes with a
-   single flat loop; the general path walks the broadcast output shape and
-   maps each output index back through stride-0 "stretched" dimensions. *)
+(* The generic broadcasting walker: maps each output index back through
+   stride-0 "stretched" dimensions with a carry-increment multi-index.
+   Correct for every shape pair; the specialized entry points below only
+   exist because this walk costs ~10x a flat loop per element. *)
+let map2_strided f a b =
+  let out_shape = Shape.broadcast a.shape b.shape in
+  let r = Shape.rank out_shape in
+  let aligned_strides s =
+    (* strides of [s] aligned to the right of [out_shape], 0 on stretched
+       or missing dimensions *)
+    let rs = Shape.rank s in
+    let st = Shape.strides s in
+    Array.init r (fun i ->
+        let j = i - (r - rs) in
+        if j < 0 || s.(j) = 1 then 0 else st.(j))
+  in
+  let sa = aligned_strides a.shape and sb = aligned_strides b.shape in
+  let out = alloc (Shape.numel out_shape) in
+  let da = a.data and db = b.data in
+  let idx = Array.make r 0 in
+  let n = Shape.numel out_shape in
+  for flat = 0 to n - 1 do
+    A.unsafe_set out flat
+      (f (A.unsafe_get da (Shape.offset sa idx))
+         (A.unsafe_get db (Shape.offset sb idx)));
+    (* increment the multi-index, rightmost dimension fastest *)
+    let k = ref (r - 1) in
+    let carrying = ref (flat < n - 1) in
+    while !carrying && !k >= 0 do
+      idx.(!k) <- idx.(!k) + 1;
+      if idx.(!k) = out_shape.(!k) then begin
+        idx.(!k) <- 0;
+        decr k
+      end
+      else carrying := false
+    done
+  done;
+  { shape = out_shape; data = out }
+
+(* [b] broadcasts onto [a.shape] as a single constant *)
+let scalar_onto a b = numel b = 1 && Shape.rank b.shape <= Shape.rank a.shape
+
 let map2 f a b =
-  if Shape.equal a.shape b.shape then
-    {
-      shape = Array.copy a.shape;
-      data = Array.init (numel a) (fun i -> f a.data.(i) b.data.(i));
-    }
-  else begin
-    let out_shape = Shape.broadcast a.shape b.shape in
-    let r = Shape.rank out_shape in
-    let aligned_strides s =
-      (* strides of [s] aligned to the right of [out_shape], 0 on stretched
-         or missing dimensions *)
-      let rs = Shape.rank s in
-      let st = Shape.strides s in
-      Array.init r (fun i ->
-          let j = i - (r - rs) in
-          if j < 0 || s.(j) = 1 then 0 else st.(j))
-    in
-    let sa = aligned_strides a.shape and sb = aligned_strides b.shape in
-    let out = zeros out_shape in
-    let idx = Array.make r 0 in
-    let n = numel out in
-    for flat = 0 to n - 1 do
-      out.data.(flat) <- f a.data.(Shape.offset sa idx) b.data.(Shape.offset sb idx);
-      (* increment the multi-index, rightmost dimension fastest *)
-      let k = ref (r - 1) in
-      let carrying = ref (flat < n - 1) in
-      while !carrying && !k >= 0 do
-        idx.(!k) <- idx.(!k) + 1;
-        if idx.(!k) = out_shape.(!k) then begin
-          idx.(!k) <- 0;
-          decr k
-        end
-        else carrying := false
-      done
+  if Shape.equal a.shape b.shape then begin
+    let n = numel a in
+    let out = alloc n in
+    let da = a.data and db = b.data in
+    for i = 0 to n - 1 do
+      A.unsafe_set out i (f (A.unsafe_get da i) (A.unsafe_get db i))
     done;
-    out
+    { shape = Array.copy a.shape; data = out }
   end
+  else if scalar_onto a b then begin
+    let c = A.unsafe_get b.data 0 in
+    let n = numel a in
+    let out = alloc n in
+    let da = a.data in
+    for i = 0 to n - 1 do
+      A.unsafe_set out i (f (A.unsafe_get da i) c)
+    done;
+    { shape = Array.copy a.shape; data = out }
+  end
+  else if scalar_onto b a then begin
+    let c = A.unsafe_get a.data 0 in
+    let n = numel b in
+    let out = alloc n in
+    let db = b.data in
+    for i = 0 to n - 1 do
+      A.unsafe_set out i (f c (A.unsafe_get db i))
+    done;
+    { shape = Array.copy b.shape; data = out }
+  end
+  else map2_strided f a b
 
-let add = map2 ( +. )
-let sub = map2 ( -. )
-let mul = map2 ( *. )
-let div = map2 ( /. )
-let neg = map (fun x -> -.x)
-let scale alpha = map (fun x -> alpha *. x)
+(* The four arithmetic ops are hand-monomorphized: without flambda the
+   closure passed to [map2] is an indirect call per element, which is most
+   of the cost of the op. Each gets the same three paths as [map2]. *)
+
+let add a b =
+  if Shape.equal a.shape b.shape then begin
+    let n = numel a in
+    let out = alloc n in
+    let da = a.data and db = b.data in
+    for i = 0 to n - 1 do
+      A.unsafe_set out i (A.unsafe_get da i +. A.unsafe_get db i)
+    done;
+    { shape = Array.copy a.shape; data = out }
+  end
+  else if scalar_onto a b then begin
+    let c = A.unsafe_get b.data 0 in
+    let n = numel a in
+    let out = alloc n in
+    let da = a.data in
+    for i = 0 to n - 1 do
+      A.unsafe_set out i (A.unsafe_get da i +. c)
+    done;
+    { shape = Array.copy a.shape; data = out }
+  end
+  else if scalar_onto b a then begin
+    let c = A.unsafe_get a.data 0 in
+    let n = numel b in
+    let out = alloc n in
+    let db = b.data in
+    for i = 0 to n - 1 do
+      A.unsafe_set out i (c +. A.unsafe_get db i)
+    done;
+    { shape = Array.copy b.shape; data = out }
+  end
+  else map2_strided ( +. ) a b
+
+let sub a b =
+  if Shape.equal a.shape b.shape then begin
+    let n = numel a in
+    let out = alloc n in
+    let da = a.data and db = b.data in
+    for i = 0 to n - 1 do
+      A.unsafe_set out i (A.unsafe_get da i -. A.unsafe_get db i)
+    done;
+    { shape = Array.copy a.shape; data = out }
+  end
+  else if scalar_onto a b then begin
+    let c = A.unsafe_get b.data 0 in
+    let n = numel a in
+    let out = alloc n in
+    let da = a.data in
+    for i = 0 to n - 1 do
+      A.unsafe_set out i (A.unsafe_get da i -. c)
+    done;
+    { shape = Array.copy a.shape; data = out }
+  end
+  else if scalar_onto b a then begin
+    let c = A.unsafe_get a.data 0 in
+    let n = numel b in
+    let out = alloc n in
+    let db = b.data in
+    for i = 0 to n - 1 do
+      A.unsafe_set out i (c -. A.unsafe_get db i)
+    done;
+    { shape = Array.copy b.shape; data = out }
+  end
+  else map2_strided ( -. ) a b
+
+let mul a b =
+  if Shape.equal a.shape b.shape then begin
+    let n = numel a in
+    let out = alloc n in
+    let da = a.data and db = b.data in
+    for i = 0 to n - 1 do
+      A.unsafe_set out i (A.unsafe_get da i *. A.unsafe_get db i)
+    done;
+    { shape = Array.copy a.shape; data = out }
+  end
+  else if scalar_onto a b then begin
+    let c = A.unsafe_get b.data 0 in
+    let n = numel a in
+    let out = alloc n in
+    let da = a.data in
+    for i = 0 to n - 1 do
+      A.unsafe_set out i (A.unsafe_get da i *. c)
+    done;
+    { shape = Array.copy a.shape; data = out }
+  end
+  else if scalar_onto b a then begin
+    let c = A.unsafe_get a.data 0 in
+    let n = numel b in
+    let out = alloc n in
+    let db = b.data in
+    for i = 0 to n - 1 do
+      A.unsafe_set out i (c *. A.unsafe_get db i)
+    done;
+    { shape = Array.copy b.shape; data = out }
+  end
+  else map2_strided ( *. ) a b
+
+let div a b =
+  if Shape.equal a.shape b.shape then begin
+    let n = numel a in
+    let out = alloc n in
+    let da = a.data and db = b.data in
+    for i = 0 to n - 1 do
+      A.unsafe_set out i (A.unsafe_get da i /. A.unsafe_get db i)
+    done;
+    { shape = Array.copy a.shape; data = out }
+  end
+  else if scalar_onto a b then begin
+    let c = A.unsafe_get b.data 0 in
+    let n = numel a in
+    let out = alloc n in
+    let da = a.data in
+    for i = 0 to n - 1 do
+      A.unsafe_set out i (A.unsafe_get da i /. c)
+    done;
+    { shape = Array.copy a.shape; data = out }
+  end
+  else if scalar_onto b a then begin
+    let c = A.unsafe_get a.data 0 in
+    let n = numel b in
+    let out = alloc n in
+    let db = b.data in
+    for i = 0 to n - 1 do
+      A.unsafe_set out i (c /. A.unsafe_get db i)
+    done;
+    { shape = Array.copy b.shape; data = out }
+  end
+  else map2_strided ( /. ) a b
+
+let neg t =
+  let n = numel t in
+  let out = alloc n in
+  let d = t.data in
+  for i = 0 to n - 1 do
+    A.unsafe_set out i (-.A.unsafe_get d i)
+  done;
+  { shape = Array.copy t.shape; data = out }
+
+let scale alpha t =
+  let n = numel t in
+  let out = alloc n in
+  let d = t.data in
+  for i = 0 to n - 1 do
+    A.unsafe_set out i (alpha *. A.unsafe_get d i)
+  done;
+  { shape = Array.copy t.shape; data = out }
+
+let relu t =
+  let n = numel t in
+  let out = alloc n in
+  let d = t.data in
+  for i = 0 to n - 1 do
+    let x = A.unsafe_get d i in
+    A.unsafe_set out i (if x > 0.0 then x else 0.0)
+  done;
+  { shape = Array.copy t.shape; data = out }
+
 let add_scalar c = map (fun x -> c +. x)
 let pow_scalar t p = map (fun x -> Float.pow x p) t
 let exp = map Float.exp
@@ -163,7 +420,6 @@ let log = map Float.log
 let sqrt = map Float.sqrt
 let abs = map Float.abs
 let sign = map (fun x -> if x > 0.0 then 1.0 else if x < 0.0 then -1.0 else 0.0)
-let relu = map (fun x -> if x > 0.0 then x else 0.0)
 let sigmoid = map (fun x -> 1.0 /. (1.0 +. Float.exp (-.x)))
 let tanh = map Float.tanh
 let maximum = map2 Float.max
@@ -172,25 +428,71 @@ let clip ~lo ~hi = map (fun x -> Float.min hi (Float.max lo x))
 
 (* {1 Comparison} *)
 
-let equal a b = Shape.equal a.shape b.shape && a.data = b.data
+let equal a b =
+  Shape.equal a.shape b.shape
+  && begin
+       let da = a.data and db = b.data in
+       let ok = ref true in
+       let i = ref 0 in
+       let n = numel a in
+       while !ok && !i < n do
+         (* [=], not [Float.equal]: NaN <> NaN, as polymorphic equality on
+            the old float-array storage had it *)
+         if not (A.unsafe_get da !i = A.unsafe_get db !i) then ok := false;
+         incr i
+       done;
+       !ok
+     end
 
 let allclose ?(rtol = 1e-5) ?(atol = 1e-8) a b =
   Shape.equal a.shape b.shape
   && begin
+       let da = a.data and db = b.data in
        let ok = ref true in
        for i = 0 to numel a - 1 do
-         let x = a.data.(i) and y = b.data.(i) in
+         let x = A.unsafe_get da i and y = A.unsafe_get db i in
          if Float.abs (x -. y) > atol +. (rtol *. Float.abs y) then ok := false
        done;
        !ok
      end
 
+let hash_contents ?(prefix = 64) t =
+  let n = min (max 0 prefix) (numel t) in
+  let h = ref (Shape.hash t.shape) in
+  let d = t.data in
+  for i = 0 to n - 1 do
+    let bits = Int64.to_int (Int64.bits_of_float (A.unsafe_get d i)) in
+    h := ((!h * 31) lxor bits) land max_int
+  done;
+  !h
+
 (* {1 Reductions} *)
 
-let sum t = Array.fold_left ( +. ) 0.0 t.data
+let sum t =
+  let d = t.data in
+  let acc = ref 0.0 in
+  for i = 0 to numel t - 1 do
+    acc := !acc +. A.unsafe_get d i
+  done;
+  !acc
+
 let mean t = sum t /. float_of_int (numel t)
-let max_value t = Array.fold_left Float.max Float.neg_infinity t.data
-let min_value t = Array.fold_left Float.min Float.infinity t.data
+
+let max_value t =
+  let d = t.data in
+  let acc = ref Float.neg_infinity in
+  for i = 0 to numel t - 1 do
+    acc := Float.max !acc (A.unsafe_get d i)
+  done;
+  !acc
+
+let min_value t =
+  let d = t.data in
+  let acc = ref Float.infinity in
+  for i = 0 to numel t - 1 do
+    acc := Float.min !acc (A.unsafe_get d i)
+  done;
+  !acc
 
 let sum_axes ?(keep_dims = false) t axes =
   let out_shape_kept = Shape.reduce_axes ~keep_dims:true t.shape axes in
@@ -198,6 +500,7 @@ let sum_axes ?(keep_dims = false) t axes =
   let st_out = Shape.strides out_shape_kept in
   let r = rank t in
   let n = numel t in
+  let d = t.data and od = out.data in
   let idx = Array.make r 0 in
   for flat = 0 to n - 1 do
     (* the output offset ignores reduced axes because their kept size is 1 *)
@@ -205,7 +508,7 @@ let sum_axes ?(keep_dims = false) t axes =
     for i = 0 to r - 1 do
       if out_shape_kept.(i) <> 1 then off := !off + (st_out.(i) * idx.(i))
     done;
-    out.data.(!off) <- out.data.(!off) +. t.data.(flat);
+    A.unsafe_set od !off (A.unsafe_get od !off +. A.unsafe_get d flat);
     let k = ref (r - 1) in
     let carrying = ref (flat < n - 1) in
     while !carrying && !k >= 0 do
@@ -227,12 +530,15 @@ let mean_axes ?keep_dims t axes =
   scale (1.0 /. reduced) (sum_axes ?keep_dims t axes)
 
 let argmax_rows t =
-  if rank t <> 2 then fail "argmax_rows: expected rank 2, got %s" (Shape.to_string t.shape);
+  if rank t <> 2 then
+    fail "argmax_rows: expected rank 2, got %s" (Shape.to_string t.shape);
   let n = t.shape.(0) and c = t.shape.(1) in
+  let d = t.data in
   Array.init n (fun i ->
       let best = ref 0 in
       for j = 1 to c - 1 do
-        if t.data.((i * c) + j) > t.data.((i * c) + !best) then best := j
+        if A.unsafe_get d ((i * c) + j) > A.unsafe_get d ((i * c) + !best) then
+          best := j
       done;
       !best)
 
@@ -241,8 +547,10 @@ let argmax_rows t =
 let reshape t new_shape =
   Shape.check_valid new_shape;
   if not (Shape.can_reshape t.shape new_shape) then
-    fail "reshape: %s to %s" (Shape.to_string t.shape) (Shape.to_string new_shape);
-  { shape = Array.copy new_shape; data = Array.copy t.data }
+    fail "reshape: %s to %s" (Shape.to_string t.shape)
+      (Shape.to_string new_shape);
+  let fresh = copy t in
+  { fresh with shape = Array.copy new_shape }
 
 let flatten_to_2d t =
   if rank t < 1 then fail "flatten_to_2d: rank 0";
@@ -273,11 +581,13 @@ let unbroadcast t target =
   end
 
 let transpose t =
-  if rank t <> 2 then fail "transpose: expected rank 2, got %s" (Shape.to_string t.shape);
+  if rank t <> 2 then
+    fail "transpose: expected rank 2, got %s" (Shape.to_string t.shape);
   let m = t.shape.(0) and n = t.shape.(1) in
+  let d = t.data in
   init_flat [| n; m |] (fun flat ->
       let i = flat / m and j = flat mod m in
-      t.data.((j * n) + i))
+      A.unsafe_get d ((j * n) + i))
 
 let permute t perm =
   let r = rank t in
@@ -290,20 +600,22 @@ let permute t perm =
     perm;
   let out_shape = Array.map (fun p -> t.shape.(p)) perm in
   let st = Shape.strides t.shape in
+  let d = t.data in
   init out_shape (fun out_idx ->
       let src = Array.make r 0 in
       Array.iteri (fun i p -> src.(p) <- out_idx.(i)) perm;
-      t.data.(Shape.offset st src))
+      A.unsafe_get d (Shape.offset st src))
 
 let concat a b axis =
   let out_shape = Shape.concat_dim a.shape b.shape axis in
   let st_a = Shape.strides a.shape and st_b = Shape.strides b.shape in
+  let da = a.data and db = b.data in
   init out_shape (fun idx ->
-      if idx.(axis) < a.shape.(axis) then a.data.(Shape.offset st_a idx)
+      if idx.(axis) < a.shape.(axis) then A.unsafe_get da (Shape.offset st_a idx)
       else begin
         let idx' = Array.copy idx in
         idx'.(axis) <- idx.(axis) - a.shape.(axis);
-        b.data.(Shape.offset st_b idx')
+        A.unsafe_get db (Shape.offset st_b idx')
       end)
 
 let slice t ~axis ~start ~len =
@@ -314,92 +626,254 @@ let slice t ~axis ~start ~len =
   let out_shape = Array.copy t.shape in
   out_shape.(axis) <- len;
   let st = Shape.strides t.shape in
+  let d = t.data in
   init out_shape (fun idx ->
       let idx' = Array.copy idx in
       idx'.(axis) <- idx.(axis) + start;
-      t.data.(Shape.offset st idx'))
+      A.unsafe_get d (Shape.offset st idx'))
 
 let one_hot ~classes labels =
   let n = numel labels in
   let out = zeros [| n; classes |] in
+  let d = labels.data and od = out.data in
   for i = 0 to n - 1 do
-    let c = int_of_float labels.data.(i) in
+    let c = int_of_float (A.unsafe_get d i) in
     if c < 0 || c >= classes then fail "one_hot: label %d out of range" c;
-    out.data.((i * classes) + c) <- 1.0
+    A.unsafe_set od ((i * classes) + c) 1.0
   done;
   out
 
 (* {1 Linear algebra} *)
 
-let matmul a b =
+(* Below this many scalar multiply-adds a matmul runs in the calling domain:
+   fan-out overhead would dominate, and small unit-test products stay on one
+   domain. 2^16 = a 40x40x40 product, roughly. *)
+let serial_cutoff = 1 lsl 16
+
+(* Cache block sizes: [kc_block] rows of B (one block of the reduction
+   axis) by [nc_block] columns is sized to sit in L1/L2 while a pair of A
+   rows streams past it. *)
+let kc_block = 128
+let nc_block = 128
+
+(* Accumulate rows [lo, hi) of the product A[m,k] x B[k,n] into C.
+   [ao]/[bo]/[co] are flat base offsets (batch_matmul reuses the kernel per
+   batch). C must be zeroed by the caller.
+
+   Determinism: for every output element the accumulation order is "kc
+   blocks ascending, p ascending within the block" — a local accumulator
+   per (element, block) is folded into C once per block. That order is the
+   same in the 2x4 micro-kernel and in the edge loops, and is independent
+   of [lo]/[hi], so any row partition (any domain count) produces
+   bit-identical results. (B-panel packing below only rearranges where the
+   same values are read from; it does not touch that order.) *)
+let matmul_rows ~n ~k (da : buffer) ao (db : buffer) bo (dc : buffer) co lo hi =
+  (* Scratch for the packed B panel: full 4-column quads laid out so the
+     micro-kernel reads 4 consecutive floats per p step (unit stride
+     instead of a +n walk through B — each p then consumes half a cache
+     line sequentially and the hardware prefetcher keeps up). Quad q of a
+     panel lives at [q*kl*4 + (p-p0)*4 + t]. A plain float array keeps
+     the reads unboxed. *)
+  let pack = Array.make (min kc_block k * min nc_block n) 0.0 in
+  let pp = ref 0 in
+  while !pp < k do
+    let p0 = !pp in
+    let p1 = min k (p0 + kc_block) in
+    let kl = p1 - p0 in
+    let kl4 = kl * 4 in
+    let jj = ref 0 in
+    while !jj < n do
+      let j0 = !jj in
+      let j1 = min n (j0 + nc_block) in
+      let nquads = (j1 - j0) / 4 in
+      (* pack: read B row-major (sequential), scatter into micro-panels *)
+      for p = p0 to p1 - 1 do
+        let src = bo + (p * n) + j0 in
+        let dp = (p - p0) * 4 in
+        for q = 0 to nquads - 1 do
+          let s = src + (q * 4) and d = (q * kl4) + dp in
+          Array.unsafe_set pack d (A.unsafe_get db s);
+          Array.unsafe_set pack (d + 1) (A.unsafe_get db (s + 1));
+          Array.unsafe_set pack (d + 2) (A.unsafe_get db (s + 2));
+          Array.unsafe_set pack (d + 3) (A.unsafe_get db (s + 3))
+        done
+      done;
+      let i = ref lo in
+      (* 2x4 register micro-kernel *)
+      while !i + 1 < hi do
+        let ia = ao + (!i * k) and ib = ao + ((!i + 1) * k) in
+        let ca = co + (!i * n) and cb = co + ((!i + 1) * n) in
+        let j = ref j0 in
+        let q = ref 0 in
+        while !j + 3 < j1 do
+          let j' = !j in
+          let acc00 = ref 0.0 and acc01 = ref 0.0 in
+          let acc02 = ref 0.0 and acc03 = ref 0.0 in
+          let acc10 = ref 0.0 and acc11 = ref 0.0 in
+          let acc12 = ref 0.0 and acc13 = ref 0.0 in
+          (* strength-reduced cursors: +1 along the A rows, +4 through the
+             packed micro-panel *)
+          let ap = ref (ia + p0) and aq = ref (ib + p0) in
+          let bb = ref (!q * kl4) in
+          for _p = p0 to p1 - 1 do
+            let a0 = A.unsafe_get da !ap in
+            let a1 = A.unsafe_get da !aq in
+            let bi = !bb in
+            let b0 = Array.unsafe_get pack bi in
+            let b1 = Array.unsafe_get pack (bi + 1) in
+            let b2 = Array.unsafe_get pack (bi + 2) in
+            let b3 = Array.unsafe_get pack (bi + 3) in
+            acc00 := !acc00 +. (a0 *. b0);
+            acc01 := !acc01 +. (a0 *. b1);
+            acc02 := !acc02 +. (a0 *. b2);
+            acc03 := !acc03 +. (a0 *. b3);
+            acc10 := !acc10 +. (a1 *. b0);
+            acc11 := !acc11 +. (a1 *. b1);
+            acc12 := !acc12 +. (a1 *. b2);
+            acc13 := !acc13 +. (a1 *. b3);
+            incr ap;
+            incr aq;
+            bb := bi + 4
+          done;
+          A.unsafe_set dc (ca + j') (A.unsafe_get dc (ca + j') +. !acc00);
+          A.unsafe_set dc (ca + j' + 1) (A.unsafe_get dc (ca + j' + 1) +. !acc01);
+          A.unsafe_set dc (ca + j' + 2) (A.unsafe_get dc (ca + j' + 2) +. !acc02);
+          A.unsafe_set dc (ca + j' + 3) (A.unsafe_get dc (ca + j' + 3) +. !acc03);
+          A.unsafe_set dc (cb + j') (A.unsafe_get dc (cb + j') +. !acc10);
+          A.unsafe_set dc (cb + j' + 1) (A.unsafe_get dc (cb + j' + 1) +. !acc11);
+          A.unsafe_set dc (cb + j' + 2) (A.unsafe_get dc (cb + j' + 2) +. !acc12);
+          A.unsafe_set dc (cb + j' + 3) (A.unsafe_get dc (cb + j' + 3) +. !acc13);
+          j := j' + 4;
+          incr q
+        done;
+        (* column remainder for the row pair *)
+        while !j < j1 do
+          let j' = !j in
+          let acc0 = ref 0.0 and acc1 = ref 0.0 in
+          for p = p0 to p1 - 1 do
+            let b = A.unsafe_get db (bo + (p * n) + j') in
+            acc0 := !acc0 +. (A.unsafe_get da (ia + p) *. b);
+            acc1 := !acc1 +. (A.unsafe_get da (ib + p) *. b)
+          done;
+          A.unsafe_set dc (ca + j') (A.unsafe_get dc (ca + j') +. !acc0);
+          A.unsafe_set dc (cb + j') (A.unsafe_get dc (cb + j') +. !acc1);
+          incr j
+        done;
+        i := !i + 2
+      done;
+      (* row remainder *)
+      if !i < hi then begin
+        let ia = ao + (!i * k) in
+        let ca = co + (!i * n) in
+        let j = ref j0 in
+        let q = ref 0 in
+        while !j + 3 < j1 do
+          let j' = !j in
+          let acc0 = ref 0.0 and acc1 = ref 0.0 in
+          let acc2 = ref 0.0 and acc3 = ref 0.0 in
+          let ap = ref (ia + p0) in
+          let bb = ref (!q * kl4) in
+          for _p = p0 to p1 - 1 do
+            let a0 = A.unsafe_get da !ap in
+            let bi = !bb in
+            acc0 := !acc0 +. (a0 *. Array.unsafe_get pack bi);
+            acc1 := !acc1 +. (a0 *. Array.unsafe_get pack (bi + 1));
+            acc2 := !acc2 +. (a0 *. Array.unsafe_get pack (bi + 2));
+            acc3 := !acc3 +. (a0 *. Array.unsafe_get pack (bi + 3));
+            incr ap;
+            bb := bi + 4
+          done;
+          A.unsafe_set dc (ca + j') (A.unsafe_get dc (ca + j') +. !acc0);
+          A.unsafe_set dc (ca + j' + 1) (A.unsafe_get dc (ca + j' + 1) +. !acc1);
+          A.unsafe_set dc (ca + j' + 2) (A.unsafe_get dc (ca + j' + 2) +. !acc2);
+          A.unsafe_set dc (ca + j' + 3) (A.unsafe_get dc (ca + j' + 3) +. !acc3);
+          j := j' + 4;
+          incr q
+        done;
+        while !j < j1 do
+          let j' = !j in
+          let acc = ref 0.0 in
+          for p = p0 to p1 - 1 do
+            acc :=
+              !acc
+              +. (A.unsafe_get da (ia + p) *. A.unsafe_get db (bo + (p * n) + j'))
+          done;
+          A.unsafe_set dc (ca + j') (A.unsafe_get dc (ca + j') +. !acc);
+          incr j
+        done
+      end;
+      jj := j1
+    done;
+    pp := p1
+  done
+
+let matmul ?domains a b =
   if rank a <> 2 || rank b <> 2 then
     fail "matmul: expected rank-2 operands, got %s and %s"
       (Shape.to_string a.shape) (Shape.to_string b.shape);
   let m = a.shape.(0) and k = a.shape.(1) in
   let k' = b.shape.(0) and n = b.shape.(1) in
-  if k <> k' then
-    fail "matmul: inner dimensions %d and %d differ" k k';
+  if k <> k' then fail "matmul: inner dimensions %d and %d differ" k k';
   let out = zeros [| m; n |] in
-  for i = 0 to m - 1 do
-    for p = 0 to k - 1 do
-      let aip = a.data.((i * k) + p) in
-      if aip <> 0.0 then
-        for j = 0 to n - 1 do
-          out.data.((i * n) + j) <-
-            out.data.((i * n) + j) +. (aip *. b.data.((p * n) + j))
-        done
-    done
-  done;
+  let da = a.data and db = b.data and dc = out.data in
+  if m * n * k <= serial_cutoff then matmul_rows ~n ~k da 0 db 0 dc 0 0 m
+  else
+    Pool.run ?domains ~n:m (fun lo hi -> matmul_rows ~n ~k da 0 db 0 dc 0 lo hi);
   out
 
 let dot a b =
   if rank a <> 1 || rank b <> 1 || numel a <> numel b then
     fail "dot: expected equal-length vectors";
+  let da = a.data and db = b.data in
   let acc = ref 0.0 in
   for i = 0 to numel a - 1 do
-    acc := !acc +. (a.data.(i) *. b.data.(i))
+    acc := !acc +. (A.unsafe_get da i *. A.unsafe_get db i)
   done;
   !acc
 
 (* {1 NN math} *)
 
 let softmax t =
-  if rank t <> 2 then fail "softmax: expected rank 2, got %s" (Shape.to_string t.shape);
+  if rank t <> 2 then
+    fail "softmax: expected rank 2, got %s" (Shape.to_string t.shape);
   let n = t.shape.(0) and c = t.shape.(1) in
   let out = zeros t.shape in
+  let d = t.data and od = out.data in
   for i = 0 to n - 1 do
     let m = ref Float.neg_infinity in
     for j = 0 to c - 1 do
-      m := Float.max !m t.data.((i * c) + j)
+      m := Float.max !m (A.unsafe_get d ((i * c) + j))
     done;
     let z = ref 0.0 in
     for j = 0 to c - 1 do
-      let e = Float.exp (t.data.((i * c) + j) -. !m) in
-      out.data.((i * c) + j) <- e;
+      let e = Float.exp (A.unsafe_get d ((i * c) + j) -. !m) in
+      A.unsafe_set od ((i * c) + j) e;
       z := !z +. e
     done;
     for j = 0 to c - 1 do
-      out.data.((i * c) + j) <- out.data.((i * c) + j) /. !z
+      A.unsafe_set od ((i * c) + j) (A.unsafe_get od ((i * c) + j) /. !z)
     done
   done;
   out
 
 let log_softmax t =
-  if rank t <> 2 then fail "log_softmax: expected rank 2, got %s" (Shape.to_string t.shape);
+  if rank t <> 2 then
+    fail "log_softmax: expected rank 2, got %s" (Shape.to_string t.shape);
   let n = t.shape.(0) and c = t.shape.(1) in
   let out = zeros t.shape in
+  let d = t.data and od = out.data in
   for i = 0 to n - 1 do
     let m = ref Float.neg_infinity in
     for j = 0 to c - 1 do
-      m := Float.max !m t.data.((i * c) + j)
+      m := Float.max !m (A.unsafe_get d ((i * c) + j))
     done;
     let z = ref 0.0 in
     for j = 0 to c - 1 do
-      z := !z +. Float.exp (t.data.((i * c) + j) -. !m)
+      z := !z +. Float.exp (A.unsafe_get d ((i * c) + j) -. !m)
     done;
     let lse = !m +. Float.log !z in
     for j = 0 to c - 1 do
-      out.data.((i * c) + j) <- t.data.((i * c) + j) -. lse
+      A.unsafe_set od ((i * c) + j) (A.unsafe_get d ((i * c) + j) -. lse)
     done
   done;
   out
@@ -412,35 +886,40 @@ let pp ppf t =
   Format.fprintf ppf "Tensor%s [" (Shape.to_string t.shape);
   for i = 0 to min n budget - 1 do
     if i > 0 then Format.fprintf ppf ", ";
-    Format.fprintf ppf "%g" t.data.(i)
+    Format.fprintf ppf "%g" t.data.{i}
   done;
   if n > budget then Format.fprintf ppf ", ...";
   Format.fprintf ppf "]"
 
 let to_string t = Format.asprintf "%a" pp t
 
-let batch_matmul a b =
+let batch_matmul ?domains a b =
   if rank a <> 3 || rank b <> 3 then
     fail "batch_matmul: expected rank-3 operands, got %s and %s"
       (Shape.to_string a.shape) (Shape.to_string b.shape);
   let bs = a.shape.(0) and m = a.shape.(1) and k = a.shape.(2) in
   if b.shape.(0) <> bs || b.shape.(1) <> k then
-    fail "batch_matmul: %s x %s" (Shape.to_string a.shape) (Shape.to_string b.shape);
+    fail "batch_matmul: %s x %s" (Shape.to_string a.shape)
+      (Shape.to_string b.shape);
   let n = b.shape.(2) in
   let out = zeros [| bs; m; n |] in
-  for batch = 0 to bs - 1 do
-    let abase = batch * m * k and bbase = batch * k * n and obase = batch * m * n in
-    for i = 0 to m - 1 do
-      for p = 0 to k - 1 do
-        let aip = a.data.(abase + (i * k) + p) in
-        if aip <> 0.0 then
-          for j = 0 to n - 1 do
-            out.data.(obase + (i * n) + j) <-
-              out.data.(obase + (i * n) + j) +. (aip *. b.data.(bbase + (p * n) + j))
-          done
-      done
+  let da = a.data and db = b.data and dc = out.data in
+  (* Rows of all batches form one global index space [0, bs*m): each
+     worker walks its contiguous span batch by batch, so parallelism does
+     not depend on bs and m individually. *)
+  let rows lo hi =
+    let r = ref lo in
+    while !r < hi do
+      let batch = !r / m in
+      let rlo = !r mod m in
+      let rhi = min m (rlo + (hi - !r)) in
+      matmul_rows ~n ~k da (batch * m * k) db (batch * k * n) dc (batch * m * n)
+        rlo rhi;
+      r := !r + (rhi - rlo)
     done
-  done;
+  in
+  if bs * m * n * k <= serial_cutoff then rows 0 (bs * m)
+  else Pool.run ?domains ~n:(bs * m) rows;
   out
 
 let batch_transpose t =

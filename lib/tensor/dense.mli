@@ -1,14 +1,27 @@
-(** The naive Tensor of §3.1: a single-threaded multi-dimensional array backed
-    by a plain OCaml [float array], with no external dependencies.
+(** The Tensor compute substrate of §3.1: a multi-dimensional array backed by
+    a flat C-layout float64 {!Bigarray.Array1}, with cache-blocked,
+    optionally {!Domain}-parallel dense kernels (see {!Pool}).
 
     The API has {e value semantics}: every operation returns a fresh tensor
     and never aliases the argument buffers, so distinct values access
     logically disjoint data (§4). A small set of explicitly named
-    [*_inplace] operations mutate their first argument; they model Swift's
-    [inout] unique borrow and must only be applied to values the caller
-    uniquely owns (this is what the optimizer's in-place update path uses). *)
+    [*_inplace] operations (plus {!blit}/{!fill}) mutate their first
+    argument; they model Swift's [inout] unique borrow and must only be
+    applied to values the caller uniquely owns (this is what the optimizer's
+    in-place update path uses).
+
+    Elementwise binary operations specialize two fast paths — same-shape
+    (one flat fused loop) and scalar-vs-tensor — and fall back to the
+    generic strided broadcast walker ({!map2_strided}) otherwise.
+    [matmul]/[batch_matmul] are cache-blocked with a 2x4 register
+    micro-kernel and partition output rows across the domain pool above a
+    fixed work cutoff; the partition is contiguous, so results are
+    bit-identical for every domain count. *)
 
 type t
+
+(** The flat row-major storage of every tensor. *)
+type buffer = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 exception Shape_error of string
 (** Re-raised from {!Shape}[.Shape_error] for shape mismatches. *)
@@ -18,6 +31,12 @@ exception Shape_error of string
 val create : Shape.t -> float -> t
 val zeros : Shape.t -> t
 val ones : Shape.t -> t
+
+(** Uninitialized storage. Kernels only: the caller must write every
+    element before the tensor escapes (used by im2col, which writes the
+    padding zeros explicitly instead of paying a full pre-fill pass). *)
+val uninit : Shape.t -> t
+
 val scalar : float -> t
 
 (** [of_array shape data] copies [data]; its length must equal
@@ -27,7 +46,8 @@ val of_array : Shape.t -> float array -> t
 (** [init shape f] fills element at multi-index [idx] with [f idx]. *)
 val init : Shape.t -> (int array -> float) -> t
 
-(** [init_flat shape f] fills flat position [i] with [f i]. *)
+(** [init_flat shape f] fills flat position [i] with [f i], in increasing
+    flat order (PRNG-fed initializers rely on the order). *)
 val init_flat : Shape.t -> (int -> float) -> t
 
 val arange : int -> t
@@ -46,14 +66,21 @@ val get_flat : t -> int -> float
 (** Extracts the value of a rank-0 or single-element tensor. *)
 val item : t -> float
 
-(** Copy of the underlying buffer in row-major order. *)
+(** Copy of the underlying buffer in row-major order, as a plain OCaml
+    array (checkpointing, tests, interop). *)
 val to_array : t -> float array
 
 (** The underlying buffer itself, not a copy. Mutating it breaks value
     semantics; reserved for kernels and backends. *)
-val unsafe_data : t -> float array
+val unsafe_data : t -> buffer
 
 val copy : t -> t
+
+(** [with_shape t shape] reinterprets [t]'s buffer under a new shape of the
+    same [numel] {e without copying} — the two values alias. Reserved for
+    kernels that immediately drop one of the views (e.g. im2col matmul
+    results); anything else breaks value semantics. *)
+val with_shape : t -> Shape.t -> t
 
 (** {1 Functional update} *)
 
@@ -64,7 +91,21 @@ val set_flat : t -> int -> float -> t
 
 (** {1 In-place (unique-borrow) operations} *)
 
+(** [fill ?pos ?len t v] sets the flat range [\[pos, pos+len)] (default: the
+    whole tensor) to [v]. *)
+val fill : ?pos:int -> ?len:int -> t -> float -> unit
+
 val fill_inplace : t -> float -> unit
+(** [fill_inplace t v] = [fill t v]; the historical name. *)
+
+(** [blit src dst] copies [src]'s contents into [dst]; both must have the
+    same number of elements (shapes may differ — the copy is flat). *)
+val blit : t -> t -> unit
+
+(** [blit_flat ~src ~src_pos ~dst ~dst_pos ~len] copies the flat range
+    [\[src_pos, src_pos+len)] of [src] onto [\[dst_pos, ...)] of [dst] —
+    the primitive under batch padding and row stacking. *)
+val blit_flat : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
 
 (** [add_inplace dst src]: [dst <- dst + src] (shapes must match). *)
 val add_inplace : t -> t -> unit
@@ -83,8 +124,14 @@ val add_at_inplace : t -> int array -> float -> unit
 
 val map : (float -> float) -> t -> t
 
-(** Broadcasting binary map (NumPy rules). *)
+(** Broadcasting binary map (NumPy rules): same-shape and scalar fast
+    paths, {!map2_strided} otherwise. *)
 val map2 : (float -> float -> float) -> t -> t -> t
+
+(** The generic strided broadcast walker, with no fast paths. Semantically
+    identical to {!map2}; retained separately so benchmarks and tests can
+    measure/check the specialized loops against it. *)
+val map2_strided : (float -> float -> float) -> t -> t -> t
 
 val add : t -> t -> t
 val sub : t -> t -> t
@@ -110,6 +157,12 @@ val clip : lo:float -> hi:float -> t -> t
 
 val equal : t -> t -> bool
 val allclose : ?rtol:float -> ?atol:float -> t -> t -> bool
+
+(** [hash_contents ?prefix t] hashes shape plus (at most) the first [prefix]
+    elements (default 64) of the buffer directly — no intermediate array
+    copy, unlike [Hashtbl.hash (to_array t)]. Equal tensors hash equal;
+    collisions are possible (confirm with {!equal}). *)
+val hash_contents : ?prefix:int -> t -> int
 
 (** {1 Reductions} *)
 
@@ -156,8 +209,12 @@ val one_hot : classes:int -> t -> t
 
 (** {1 Linear algebra} *)
 
-(** 2-D matrix product [\[m;k\] x \[k;n\] -> \[m;n\]]. *)
-val matmul : t -> t -> t
+(** 2-D matrix product [\[m;k\] x \[k;n\] -> \[m;n\]]: cache-blocked with a
+    2x4 register micro-kernel; rows are partitioned over the domain pool
+    when [m*n*k] exceeds the serial cutoff. [?domains] overrides the pool's
+    default width for this call (benchmarks use it to sweep scaling);
+    results are bit-identical for every width. *)
+val matmul : ?domains:int -> t -> t -> t
 
 (** 1-D dot product. *)
 val dot : t -> t -> float
@@ -176,8 +233,9 @@ val to_string : t -> string
 
 (** {1 Batched linear algebra} *)
 
-(** Batched matrix product [\[b;m;k\] x \[b;k;n\] -> \[b;m;n\]]. *)
-val batch_matmul : t -> t -> t
+(** Batched matrix product [\[b;m;k\] x \[b;k;n\] -> \[b;m;n\]]; same
+    blocking, partitioning and determinism as {!matmul}. *)
+val batch_matmul : ?domains:int -> t -> t -> t
 
 (** Transpose of the trailing two axes of a rank-3 tensor. *)
 val batch_transpose : t -> t

@@ -29,8 +29,8 @@ let unbroadcast = Dense.unbroadcast
 let sum_axes = Dense.sum_axes
 let sum_all t = Dense.scalar (Dense.sum t)
 let mean_all t = Dense.scalar (Dense.mean t)
-let matmul = Dense.matmul
-let batch_matmul = Dense.batch_matmul
+let matmul a b = Dense.matmul a b
+let batch_matmul a b = Dense.batch_matmul a b
 let batch_transpose = Dense.batch_transpose
 let conv2d ?(stride = Backend_intf.default_conv_stride) ~padding input filter =
   Convolution.conv2d ~stride ~padding input filter

@@ -1,0 +1,140 @@
+let hard_max_domains = 16
+
+let default_domains =
+  let computed =
+    lazy
+      (match Sys.getenv_opt "S4O_DOMAINS" with
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some v when v >= 1 -> min v hard_max_domains
+          | Some _ | None -> 1)
+      | None -> max 1 (min 8 (Domain.recommended_domain_count ())))
+  in
+  fun () -> Lazy.force computed
+
+(* One shared task queue; workers block on [work] when it is empty. [pending]
+   counts submitted-but-unfinished chunks of the single in-flight job (jobs
+   never overlap: [busy] serializes them). *)
+type state = {
+  mutex : Mutex.t;
+  work : Condition.t;
+  finished : Condition.t;
+  tasks : (unit -> unit) Queue.t;
+  mutable pending : int;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let st =
+  {
+    mutex = Mutex.create ();
+    work = Condition.create ();
+    finished = Condition.create ();
+    tasks = Queue.create ();
+    pending = 0;
+    stop = false;
+    workers = [];
+  }
+
+let live_workers () =
+  Mutex.lock st.mutex;
+  let n = List.length st.workers in
+  Mutex.unlock st.mutex;
+  n
+
+let rec worker_loop () =
+  Mutex.lock st.mutex;
+  while Queue.is_empty st.tasks && not st.stop do
+    Condition.wait st.work st.mutex
+  done;
+  if Queue.is_empty st.tasks then Mutex.unlock st.mutex (* stopping *)
+  else begin
+    let task = Queue.pop st.tasks in
+    Mutex.unlock st.mutex;
+    task ();
+    Mutex.lock st.mutex;
+    st.pending <- st.pending - 1;
+    if st.pending = 0 then Condition.broadcast st.finished;
+    Mutex.unlock st.mutex;
+    worker_loop ()
+  end
+
+(* Joining is not final: [stop] is reset afterwards so the next [run] can
+   respawn lazily. Tests and benchmarks quiesce the pool this way — an idle
+   domain still participates in every stop-the-world collection, which taxes
+   purely-serial phases (badly so on small machines). *)
+let shutdown () =
+  Mutex.lock st.mutex;
+  st.stop <- true;
+  let workers = st.workers in
+  st.workers <- [];
+  Condition.broadcast st.work;
+  Mutex.unlock st.mutex;
+  List.iter Domain.join workers;
+  Mutex.lock st.mutex;
+  st.stop <- false;
+  Mutex.unlock st.mutex
+
+let exit_hook_installed = ref false
+
+(* Make sure at least [want] workers are alive (caller holds no lock). *)
+let ensure_workers want =
+  Mutex.lock st.mutex;
+  let have = List.length st.workers in
+  let missing = if st.stop then 0 else want - have in
+  if missing > 0 then begin
+    if not !exit_hook_installed then begin
+      exit_hook_installed := true;
+      at_exit shutdown
+    end;
+    for _ = 1 to missing do
+      st.workers <- Domain.spawn worker_loop :: st.workers
+    done
+  end;
+  Mutex.unlock st.mutex
+
+(* A [run] is in flight: nested calls (which could only come from inside a
+   chunk) degrade to serial instead of deadlocking on the queue. *)
+let busy = Atomic.make false
+
+let run ?domains ~n f =
+  if n > 0 then begin
+    let d =
+      min n
+        (max 1
+           (min hard_max_domains
+              (match domains with Some d -> d | None -> default_domains ())))
+    in
+    if d = 1 || not (Atomic.compare_and_set busy false true) then f 0 n
+    else
+      Fun.protect
+        ~finally:(fun () -> Atomic.set busy false)
+        (fun () ->
+          ensure_workers (d - 1);
+          let first_exn = Atomic.make None in
+          let chunk i =
+            let base = n / d and rem = n mod d in
+            let lo = (i * base) + min i rem in
+            (lo, lo + base + if i < rem then 1 else 0)
+          in
+          let guarded lo hi () =
+            try f lo hi
+            with e -> ignore (Atomic.compare_and_set first_exn None (Some e))
+          in
+          Mutex.lock st.mutex;
+          st.pending <- st.pending + (d - 1);
+          for i = 1 to d - 1 do
+            let lo, hi = chunk i in
+            Queue.add (guarded lo hi) st.tasks
+          done;
+          Condition.broadcast st.work;
+          Mutex.unlock st.mutex;
+          (let lo, hi = chunk 0 in
+           guarded lo hi ());
+          Mutex.lock st.mutex;
+          while st.pending > 0 do
+            Condition.wait st.finished st.mutex
+          done;
+          Mutex.unlock st.mutex;
+          match Atomic.get first_exn with Some e -> raise e | None -> ())
+  end

@@ -1,0 +1,44 @@
+(** A fixed pool of worker {!Domain}s for data-parallel compute kernels.
+
+    The pool exists so that every parallel kernel in the library shares one
+    set of long-lived domains instead of spawning fresh ones per call
+    (domain spawn is ~100us — far more than a small kernel). Workers are
+    started lazily on first use, grown on demand up to {!hard_max_domains},
+    and joined at process exit.
+
+    Determinism contract: {!run} splits [\[0, n)] into [domains] {e
+    contiguous} chunks. Kernels that partition independent output rows this
+    way produce bit-identical results for every domain count, because each
+    output element is computed by exactly one domain with an accumulation
+    order that does not depend on the partition. The tensor kernels
+    ({!Dense.matmul}, {!Convolution.conv2d}, ...) are written against this
+    contract and the test suite checks it. *)
+
+(** Hard upper bound on worker domains ([16]); requests beyond it clamp. *)
+val hard_max_domains : int
+
+(** The default parallel width: [Domain.recommended_domain_count ()] clamped
+    to [\[1; 8\]], overridable with the [S4O_DOMAINS] environment variable
+    (useful to pin tests to a width or to exercise oversubscription). *)
+val default_domains : unit -> int
+
+(** Number of worker domains currently alive (not counting the caller). *)
+val live_workers : unit -> int
+
+(** [run ?domains ~n f] evaluates [f lo hi] over contiguous chunks covering
+    [\[0, n)], on up to [domains] domains (the caller included — it always
+    executes chunk 0). Defaults to {!default_domains}; [domains] is clamped
+    to [\[1; hard_max_domains\]] and to [n]. With an effective width of 1,
+    or when called from inside another [run] (kernels never nest, but the
+    pool refuses to deadlock), [f 0 n] runs in the calling domain.
+
+    [f] must only write to disjoint locations per chunk. The first exception
+    raised by any chunk is re-raised in the caller after all chunks finish. *)
+val run : ?domains:int -> n:int -> (int -> int -> unit) -> unit
+
+(** Join all idle workers. The pool respawns lazily on the next {!run}, so
+    this only quiesces; it never breaks later callers. Tests and benchmarks
+    call it after parallel phases because an idle domain still participates
+    in every stop-the-world collection, slowing serial code that follows
+    (it also runs via [at_exit]). *)
+val shutdown : unit -> unit

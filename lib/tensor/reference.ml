@@ -1,0 +1,202 @@
+(* The kernels below are the pre-optimization implementations, ported only
+   in storage (tensors enter and leave through [Dense.to_array] /
+   [Dense.of_array]); the loop nests and accumulation orders are unchanged.
+   They are deliberately slow — oracle and baseline, not product. *)
+
+let fail fmt = Format.kasprintf (fun s -> raise (Shape.Shape_error s)) fmt
+
+let matmul a b =
+  if Dense.rank a <> 2 || Dense.rank b <> 2 then
+    fail "Reference.matmul: expected rank-2 operands";
+  let sa = Dense.shape a and sb = Dense.shape b in
+  let m = sa.(0) and k = sa.(1) in
+  let k' = sb.(0) and n = sb.(1) in
+  if k <> k' then fail "Reference.matmul: inner dimensions %d and %d differ" k k';
+  let ad = Dense.to_array a and bd = Dense.to_array b in
+  let od = Array.make (m * n) 0.0 in
+  for i = 0 to m - 1 do
+    for p = 0 to k - 1 do
+      let aip = ad.((i * k) + p) in
+      if aip <> 0.0 then
+        for j = 0 to n - 1 do
+          od.((i * n) + j) <- od.((i * n) + j) +. (aip *. bd.((p * n) + j))
+        done
+    done
+  done;
+  Dense.of_array [| m; n |] od
+
+let batch_matmul a b =
+  if Dense.rank a <> 3 || Dense.rank b <> 3 then
+    fail "Reference.batch_matmul: expected rank-3 operands";
+  let sa = Dense.shape a and sb = Dense.shape b in
+  let bs = sa.(0) and m = sa.(1) and k = sa.(2) in
+  if sb.(0) <> bs || sb.(1) <> k then fail "Reference.batch_matmul: shape mismatch";
+  let n = sb.(2) in
+  let ad = Dense.to_array a and bd = Dense.to_array b in
+  let od = Array.make (bs * m * n) 0.0 in
+  for batch = 0 to bs - 1 do
+    let abase = batch * m * k
+    and bbase = batch * k * n
+    and obase = batch * m * n in
+    for i = 0 to m - 1 do
+      for p = 0 to k - 1 do
+        let aip = ad.(abase + (i * k) + p) in
+        if aip <> 0.0 then
+          for j = 0 to n - 1 do
+            od.(obase + (i * n) + j) <-
+              od.(obase + (i * n) + j) +. (aip *. bd.(bbase + (p * n) + j))
+          done
+      done
+    done
+  done;
+  Dense.of_array [| bs; m; n |] od
+
+let sum_axes ?(keep_dims = false) t axes =
+  let tshape = Dense.shape t in
+  let out_shape_kept = Shape.reduce_axes ~keep_dims:true tshape axes in
+  let od = Array.make (Shape.numel out_shape_kept) 0.0 in
+  let st_out = Shape.strides out_shape_kept in
+  let td = Dense.to_array t in
+  let r = Shape.rank tshape in
+  let n = Array.length td in
+  let idx = Array.make r 0 in
+  for flat = 0 to n - 1 do
+    let off = ref 0 in
+    for i = 0 to r - 1 do
+      if out_shape_kept.(i) <> 1 then off := !off + (st_out.(i) * idx.(i))
+    done;
+    od.(!off) <- od.(!off) +. td.(flat);
+    let k = ref (r - 1) in
+    let carrying = ref (flat < n - 1) in
+    while !carrying && !k >= 0 do
+      idx.(!k) <- idx.(!k) + 1;
+      if idx.(!k) = tshape.(!k) then begin
+        idx.(!k) <- 0;
+        decr k
+      end
+      else carrying := false
+    done
+  done;
+  Dense.of_array (Shape.reduce_axes ~keep_dims tshape axes) od
+
+let conv2d ?(stride = (1, 1)) ~padding input filter =
+  let sh, sw = stride in
+  let ishape = Dense.shape input and fshape = Dense.shape filter in
+  let n = ishape.(0) and h = ishape.(1) and w = ishape.(2) and cin = ishape.(3) in
+  let kh = fshape.(0) and kw = fshape.(1) and cout = fshape.(3) in
+  let oh = Convolution.out_dim padding ~size:h ~kernel:kh ~stride:sh in
+  let ow = Convolution.out_dim padding ~size:w ~kernel:kw ~stride:sw in
+  let ph, _ = Convolution.pad_amounts padding ~size:h ~kernel:kh ~stride:sh in
+  let pw, _ = Convolution.pad_amounts padding ~size:w ~kernel:kw ~stride:sw in
+  let id = Dense.to_array input and fd = Dense.to_array filter in
+  let od = Array.make (n * oh * ow * cout) 0.0 in
+  for b = 0 to n - 1 do
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        for ky = 0 to kh - 1 do
+          let iy = (oy * sh) + ky - ph in
+          if iy >= 0 && iy < h then
+            for kx = 0 to kw - 1 do
+              let ix = (ox * sw) + kx - pw in
+              if ix >= 0 && ix < w then begin
+                let ibase = (((b * h) + iy) * w + ix) * cin in
+                let fbase = ((ky * kw) + kx) * cin in
+                let obase = (((b * oh) + oy) * ow + ox) * cout in
+                for c = 0 to cin - 1 do
+                  let iv = id.(ibase + c) in
+                  if iv <> 0.0 then begin
+                    let frow = (fbase + c) * cout in
+                    for oc = 0 to cout - 1 do
+                      od.(obase + oc) <- od.(obase + oc) +. (iv *. fd.(frow + oc))
+                    done
+                  end
+                done
+              end
+            done
+        done
+      done
+    done
+  done;
+  Dense.of_array [| n; oh; ow; cout |] od
+
+let conv2d_backward_input ?(stride = (1, 1)) ~padding ~input_shape filter grad =
+  let sh, sw = stride in
+  let n = input_shape.(0)
+  and h = input_shape.(1)
+  and w = input_shape.(2)
+  and cin = input_shape.(3) in
+  let fshape = Dense.shape filter in
+  let kh = fshape.(0) and kw = fshape.(1) and cout = fshape.(3) in
+  let gshape = Dense.shape grad in
+  let oh = gshape.(1) and ow = gshape.(2) in
+  let ph, _ = Convolution.pad_amounts padding ~size:h ~kernel:kh ~stride:sh in
+  let pw, _ = Convolution.pad_amounts padding ~size:w ~kernel:kw ~stride:sw in
+  let fd = Dense.to_array filter and gd = Dense.to_array grad in
+  let dd = Array.make (Shape.numel input_shape) 0.0 in
+  for b = 0 to n - 1 do
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        for ky = 0 to kh - 1 do
+          let iy = (oy * sh) + ky - ph in
+          if iy >= 0 && iy < h then
+            for kx = 0 to kw - 1 do
+              let ix = (ox * sw) + kx - pw in
+              if ix >= 0 && ix < w then begin
+                let ibase = (((b * h) + iy) * w + ix) * cin in
+                let fbase = ((ky * kw) + kx) * cin in
+                let obase = (((b * oh) + oy) * ow + ox) * cout in
+                for c = 0 to cin - 1 do
+                  let frow = (fbase + c) * cout in
+                  let acc = ref 0.0 in
+                  for oc = 0 to cout - 1 do
+                    acc := !acc +. (fd.(frow + oc) *. gd.(obase + oc))
+                  done;
+                  dd.(ibase + c) <- dd.(ibase + c) +. !acc
+                done
+              end
+            done
+        done
+      done
+    done
+  done;
+  Dense.of_array input_shape dd
+
+let conv2d_backward_filter ?(stride = (1, 1)) ~padding ~filter_shape input grad =
+  let sh, sw = stride in
+  let ishape = Dense.shape input in
+  let n = ishape.(0) and h = ishape.(1) and w = ishape.(2) and cin = ishape.(3) in
+  let kh = filter_shape.(0) and kw = filter_shape.(1) and cout = filter_shape.(3) in
+  let gshape = Dense.shape grad in
+  let oh = gshape.(1) and ow = gshape.(2) in
+  let ph, _ = Convolution.pad_amounts padding ~size:h ~kernel:kh ~stride:sh in
+  let pw, _ = Convolution.pad_amounts padding ~size:w ~kernel:kw ~stride:sw in
+  let id = Dense.to_array input and gd = Dense.to_array grad in
+  let dd = Array.make (Shape.numel filter_shape) 0.0 in
+  for b = 0 to n - 1 do
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        for ky = 0 to kh - 1 do
+          let iy = (oy * sh) + ky - ph in
+          if iy >= 0 && iy < h then
+            for kx = 0 to kw - 1 do
+              let ix = (ox * sw) + kx - pw in
+              if ix >= 0 && ix < w then begin
+                let ibase = (((b * h) + iy) * w + ix) * cin in
+                let fbase = ((ky * kw) + kx) * cin in
+                let obase = (((b * oh) + oy) * ow + ox) * cout in
+                for c = 0 to cin - 1 do
+                  let iv = id.(ibase + c) in
+                  if iv <> 0.0 then begin
+                    let frow = (fbase + c) * cout in
+                    for oc = 0 to cout - 1 do
+                      dd.(frow + oc) <- dd.(frow + oc) +. (iv *. gd.(obase + oc))
+                    done
+                  end
+                done
+              end
+            done
+        done
+      done
+    done
+  done;
+  Dense.of_array filter_shape dd

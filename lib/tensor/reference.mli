@@ -1,0 +1,38 @@
+(** The pre-Bigarray naive kernels, retained verbatim on plain [float array]
+    storage. They exist for two reasons: the qcheck property tests use them
+    as the oracle the optimized {!Dense}/{!Convolution} kernels must agree
+    with, and [bench kernels] uses them as the honest "before" baseline for
+    the speedup numbers in [BENCH_kernels.json]. Never call them from
+    production code paths. *)
+
+val matmul : Dense.t -> Dense.t -> Dense.t
+(** Naive i/p/j triple loop with the historical zero-skip. *)
+
+val batch_matmul : Dense.t -> Dense.t -> Dense.t
+
+val sum_axes : ?keep_dims:bool -> Dense.t -> int list -> Dense.t
+(** Generic multi-index walker over the full input. *)
+
+val conv2d :
+  ?stride:int * int ->
+  padding:Convolution.padding ->
+  Dense.t ->
+  Dense.t ->
+  Dense.t
+(** Direct 7-deep loop nest, NHWC. *)
+
+val conv2d_backward_input :
+  ?stride:int * int ->
+  padding:Convolution.padding ->
+  input_shape:Shape.t ->
+  Dense.t ->
+  Dense.t ->
+  Dense.t
+
+val conv2d_backward_filter :
+  ?stride:int * int ->
+  padding:Convolution.padding ->
+  filter_shape:Shape.t ->
+  Dense.t ->
+  Dense.t ->
+  Dense.t

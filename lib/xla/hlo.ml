@@ -115,7 +115,7 @@ let fingerprint g =
       mix (Shape.hash n.shape);
       (match n.role with
       | Param i -> mix (i + 17)
-      | Literal v -> mix (Hashtbl.hash (Dense.to_array v))
+      | Literal v -> mix (Dense.hash_contents v)
       | Compute -> mix 3);
       List.iter (fun i -> mix (Hashtbl.find renumber i.id)) n.inputs)
     g.nodes;

@@ -31,8 +31,11 @@ let cse g =
       match n.role with
       | Param _ -> n
       | Literal v -> begin
-          (* Literals participate keyed by contents. *)
-          let key = key ^ "#" ^ string_of_int (Hashtbl.hash (Dense.to_array v)) in
+          (* Literals participate keyed by contents. [hash_contents] reads a
+             bounded prefix of the buffer in place — no per-literal array
+             copy per CSE pass — so the [Dense.equal] confirm below stays
+             load-bearing for literals that agree on the prefix. *)
+          let key = key ^ "#" ^ string_of_int (Dense.hash_contents v) in
           match Hashtbl.find_opt seen key with
           | Some prior
             when Option.fold ~none:false

@@ -223,6 +223,23 @@ let test_validation () =
   check_raises_any "non-positive slo rejected" (fun () ->
       Request.create ~id:1 ~arrival:0.0 ~slo:0.0 ())
 
+let test_assemble () =
+  let module D = S4o_tensor.Dense in
+  let row = [| 2; 2 |] in
+  let payload v = D.create row v in
+  let req ?payload id = Request.create ?payload ~id ~arrival:0.0 ~slo:1.0 () in
+  let batch = [ req ~payload:(payload 1.0) 1; req 2; req ~payload:(payload 3.0) 3 ] in
+  let t = Batcher.assemble ~bucket:4 ~row batch in
+  check_true "batch tensor shape" (D.shape t = [| 4; 2; 2 |]);
+  check_float_array "payload rows land in order, gaps and tail stay zero"
+    [| 1.; 1.; 1.; 1.; 0.; 0.; 0.; 0.; 3.; 3.; 3.; 3.; 0.; 0.; 0.; 0. |]
+    (D.to_array t);
+  check_raises_any "overflowing the bucket rejected" (fun () ->
+      Batcher.assemble ~bucket:2 ~row [ req 1; req 2; req 3 ]);
+  check_raises_any "payload element-count mismatch rejected" (fun () ->
+      Batcher.assemble ~bucket:2 ~row
+        [ req ~payload:(D.create [| 3 |] 1.0) 1 ])
+
 let suite =
   [
     ( "serve",
@@ -247,5 +264,6 @@ let suite =
         Alcotest.test_case "chrome trace exports and validates" `Quick
           test_trace_export;
         Alcotest.test_case "config validation" `Quick test_validation;
+        Alcotest.test_case "payload batch assembly" `Quick test_assemble;
       ] );
   ]

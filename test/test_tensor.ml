@@ -551,3 +551,304 @@ let batch_suite =
   ]
 
 let suite = suite @ batch_suite
+
+(* {1 Optimized kernels vs the retained naive reference}
+
+   The blocked/parallel Bigarray kernels must agree with {!Reference} (the
+   pre-optimization float-array kernels, kept verbatim as the oracle), and
+   the parallel paths must be bit-identical to the serial ones. *)
+
+let qcheck_matmul_matches_reference =
+  Test_util.qtest ~count:60 "blocked matmul matches naive reference"
+    QCheck.(triple (int_range 1 13) (int_range 1 13) (int_range 1 13))
+    (fun (m, k, n) ->
+      let g = Prng.create ((m * 997) + (k * 31) + n) in
+      let a = D.rand_normal g [| m; k |] in
+      let b = D.rand_normal g [| k; n |] in
+      D.allclose ~rtol:1e-9 ~atol:1e-12 (Reference.matmul a b) (D.matmul a b))
+
+(* Big enough to cross the serial cutoff and exercise blocking edges
+   (sizes straddle the 128-wide kc/nc blocks). *)
+let test_matmul_reference_large () =
+  let g = Prng.create 42 in
+  List.iter
+    (fun (m, k, n) ->
+      let a = D.rand_normal g [| m; k |] in
+      let b = D.rand_normal g [| k; n |] in
+      Test_util.check_true
+        (Printf.sprintf "matmul %dx%dx%d matches reference" m k n)
+        (D.allclose ~rtol:1e-9 ~atol:1e-12 (Reference.matmul a b)
+           (D.matmul a b)))
+    [ (47, 130, 129); (64, 64, 64); (130, 47, 4); (3, 200, 131) ]
+
+let qcheck_batch_matmul_matches_reference =
+  Test_util.qtest ~count:40 "batch matmul matches naive reference"
+    QCheck.(quad (int_range 1 4) (int_range 1 7) (int_range 1 7) (int_range 1 7))
+    (fun (bs, m, k, n) ->
+      let g = Prng.create ((bs * 7919) + (m * 997) + (k * 31) + n) in
+      let a = D.rand_normal g [| bs; m; k |] in
+      let b = D.rand_normal g [| bs; k; n |] in
+      D.allclose ~rtol:1e-9 ~atol:1e-12 (Reference.batch_matmul a b)
+        (D.batch_matmul a b))
+
+let qcheck_sum_axes_matches_reference =
+  Test_util.qtest ~count:60 "sum_axes matches naive reference"
+    QCheck.(pair (triple (int_range 1 5) (int_range 1 5) (int_range 1 5))
+              (pair bool (int_range 0 2)))
+    (fun ((d0, d1, d2), (keep_dims, which)) ->
+      let g = Prng.create ((d0 * 997) + (d1 * 31) + d2 + Bool.to_int keep_dims) in
+      let t = D.rand_normal g [| d0; d1; d2 |] in
+      let axes = List.nth [ [ 0 ]; [ 1; 2 ]; [ 0; 2 ] ] which in
+      D.allclose ~rtol:1e-9 ~atol:1e-12
+        (Reference.sum_axes ~keep_dims t axes)
+        (D.sum_axes ~keep_dims t axes))
+
+let conv_case_gen =
+  (* n h w cin cout kh kw stride same? — kept small: the reference kernel
+     is the slow one. *)
+  QCheck.(
+    pair
+      (quad (int_range 1 2) (int_range 3 8) (int_range 3 8) (int_range 1 3))
+      (quad (int_range 1 3) (int_range 1 3) (int_range 1 3)
+         (pair (int_range 1 2) bool)))
+
+let conv_inputs (n, h, w, cin) (cout, kh, kw, (s, same)) =
+  let g = Prng.create ((n * 7919) + (h * 997) + (w * 31) + cin + (cout * 3) + kh + kw + s) in
+  let input = D.rand_normal g [| n; h; w; cin |] in
+  let filter = D.rand_normal g [| kh; kw; cin; cout |] in
+  let padding = if same then Convolution.Same else Convolution.Valid in
+  (input, filter, (s, s), padding)
+
+let qcheck_conv2d_matches_reference =
+  Test_util.qtest ~count:50 "im2col conv2d matches naive reference"
+    conv_case_gen
+    (fun (dims, fdims) ->
+      let input, filter, stride, padding = conv_inputs dims fdims in
+      let ishape = D.shape input and fshape = D.shape filter in
+      let oh =
+        Convolution.out_dim padding ~size:ishape.(1) ~kernel:fshape.(0)
+          ~stride:(fst stride)
+      in
+      let ow =
+        Convolution.out_dim padding ~size:ishape.(2) ~kernel:fshape.(1)
+          ~stride:(snd stride)
+      in
+      oh = 0 || ow = 0
+      || D.allclose ~rtol:1e-9 ~atol:1e-12
+           (Reference.conv2d ~stride ~padding input filter)
+           (Convolution.conv2d ~stride ~padding input filter))
+
+let qcheck_conv2d_grads_match_reference =
+  Test_util.qtest ~count:30 "conv2d backward passes match naive reference"
+    conv_case_gen
+    (fun (dims, fdims) ->
+      let input, filter, stride, padding = conv_inputs dims fdims in
+      let out = Convolution.conv2d ~stride ~padding input filter in
+      if D.numel out = 0 then true
+      else begin
+        let g = Prng.create 5 in
+        let grad = D.rand_normal g (D.shape out) in
+        let input_shape = D.shape input and filter_shape = D.shape filter in
+        D.allclose ~rtol:1e-9 ~atol:1e-12
+          (Reference.conv2d_backward_input ~stride ~padding ~input_shape
+             filter grad)
+          (Convolution.conv2d_backward_input ~stride ~padding ~input_shape
+             filter grad)
+        && D.allclose ~rtol:1e-9 ~atol:1e-12
+             (Reference.conv2d_backward_filter ~stride ~padding ~filter_shape
+                input grad)
+             (Convolution.conv2d_backward_filter ~stride ~padding
+                ~filter_shape input grad)
+      end)
+
+(* {1 Parallel determinism} *)
+
+let test_parallel_matmul_bit_identical () =
+  (* 60*60*60 > the 2^16 serial cutoff, so Pool.run actually partitions. *)
+  let g = Prng.create 7 in
+  let a = D.rand_normal g [| 60; 60 |] in
+  let b = D.rand_normal g [| 60; 60 |] in
+  let serial = D.matmul ~domains:1 a b in
+  List.iter
+    (fun d ->
+      Test_util.check_true
+        (Printf.sprintf "matmul domains:%d bit-identical to serial" d)
+        (D.equal serial (D.matmul ~domains:d a b)))
+    [ 2; 3; 4; 8 ]
+
+let test_parallel_batch_matmul_bit_identical () =
+  let g = Prng.create 8 in
+  let a = D.rand_normal g [| 4; 40; 44 |] in
+  let b = D.rand_normal g [| 4; 44; 36 |] in
+  let serial = D.batch_matmul ~domains:1 a b in
+  List.iter
+    (fun d ->
+      Test_util.check_true
+        (Printf.sprintf "batch_matmul domains:%d bit-identical to serial" d)
+        (D.equal serial (D.batch_matmul ~domains:d a b)))
+    [ 2; 4 ]
+
+let test_parallel_conv2d_bit_identical () =
+  let g = Prng.create 9 in
+  let input = D.rand_normal g [| 4; 12; 12; 8 |] in
+  let filter = D.rand_normal g [| 3; 3; 8; 8 |] in
+  let conv d =
+    Convolution.conv2d ~domains:d ~padding:Convolution.Same input filter
+  in
+  let serial = conv 1 in
+  List.iter
+    (fun d ->
+      Test_util.check_true
+        (Printf.sprintf "conv2d domains:%d bit-identical to serial" d)
+        (D.equal serial (conv d)))
+    [ 2; 4 ]
+
+(* {1 Buffer primitives} *)
+
+let test_fill_and_blit () =
+  let t = D.zeros [| 2; 3 |] in
+  D.fill t 1.5;
+  Test_util.check_float "fill all" 9.0 (D.sum t);
+  D.fill ~pos:2 ~len:3 t 0.0;
+  Test_util.check_float_array "fill range" [| 1.5; 1.5; 0.0; 0.0; 0.0; 1.5 |]
+    (D.to_array t);
+  Test_util.check_raises_any "fill out of range" (fun () ->
+      D.fill ~pos:4 ~len:3 t 0.0);
+  let src = D.arange 6 in
+  let dst = D.zeros [| 3; 2 |] in
+  D.blit src dst;
+  Test_util.check_float_array "blit is flat across shapes"
+    (D.to_array src) (D.to_array dst);
+  Test_util.check_raises_any "blit numel mismatch" (fun () ->
+      D.blit src (D.zeros [| 2; 2 |]))
+
+let test_blit_flat () =
+  let src = D.arange 5 in
+  let dst = D.zeros [| 8 |] in
+  D.blit_flat ~src ~src_pos:1 ~dst ~dst_pos:4 ~len:3;
+  Test_util.check_float_array "ranged copy"
+    [| 0.; 0.; 0.; 0.; 1.; 2.; 3.; 0. |]
+    (D.to_array dst);
+  Test_util.check_raises_any "src overrun" (fun () ->
+      D.blit_flat ~src ~src_pos:3 ~dst ~dst_pos:0 ~len:3);
+  Test_util.check_raises_any "dst overrun" (fun () ->
+      D.blit_flat ~src ~src_pos:0 ~dst ~dst_pos:6 ~len:3)
+
+let test_hash_contents () =
+  let g = Prng.create 11 in
+  let a = D.rand_normal g [| 4; 5 |] in
+  let b = D.copy a in
+  Test_util.check_true "equal tensors hash equal"
+    (D.hash_contents a = D.hash_contents b);
+  Test_util.check_true "prefix variant is stable"
+    (D.hash_contents ~prefix:8 a = D.hash_contents ~prefix:8 b);
+  let c = D.set_flat a 0 (D.get_flat a 0 +. 1.0) in
+  Test_util.check_true "perturbed tensor hashes differently"
+    (D.hash_contents a <> D.hash_contents c);
+  Test_util.check_true "shape participates"
+    (D.hash_contents (D.zeros [| 4; 5 |]) <> D.hash_contents (D.zeros [| 5; 4 |]))
+
+let test_with_shape_aliases () =
+  let t = D.zeros [| 2; 3 |] in
+  let v = D.with_shape t [| 6 |] in
+  D.fill v 2.0;
+  Test_util.check_float "views share the buffer" 12.0 (D.sum t);
+  Test_util.check_raises_any "numel mismatch" (fun () -> D.with_shape t [| 5 |])
+
+let qcheck_map2_fast_paths_match_strided =
+  Test_util.qtest ~count:60 "map2 fast paths match the strided walker"
+    QCheck.(pair (int_range 1 6) (int_range 0 2))
+    (fun (n, kind) ->
+      let g = Prng.create ((n * 31) + kind) in
+      let a = D.rand_normal g [| n; 3 |] in
+      let b =
+        match kind with
+        | 0 -> D.rand_normal g [| n; 3 |] (* same shape: fused loop *)
+        | 1 -> D.scalar 2.5 (* scalar broadcast fast path *)
+        | _ -> D.rand_normal g [| 1; 3 |] (* generic strided *)
+      in
+      D.equal (D.map2 ( +. ) a b) (D.map2_strided ( +. ) a b)
+      && D.equal (D.add a b) (D.map2_strided ( +. ) a b))
+
+(* {1 Pool} *)
+
+let test_pool_covers_range () =
+  let n = 1000 in
+  let hits = Array.make n 0 in
+  Pool.run ~domains:4 ~n (fun lo hi ->
+      for i = lo to hi - 1 do
+        hits.(i) <- hits.(i) + 1
+      done);
+  Test_util.check_true "every index visited exactly once"
+    (Array.for_all (fun c -> c = 1) hits)
+
+let test_pool_reraises () =
+  Test_util.check_raises_any "worker exception surfaces" (fun () ->
+      Pool.run ~domains:4 ~n:100 (fun lo _ ->
+          if lo > 0 then failwith "boom"))
+
+let test_pool_nested_serial () =
+  (* A nested run must not deadlock; it degrades to the calling domain. *)
+  let inner_ran = ref false in
+  Pool.run ~domains:2 ~n:2 (fun lo hi ->
+      if lo = 0 then
+        Pool.run ~domains:2 ~n:(hi - lo) (fun _ _ -> inner_ran := true));
+  Test_util.check_true "nested run executed" !inner_ran
+
+let test_pool_width_clamps () =
+  let chunks = ref 0 in
+  Pool.run ~domains:64 ~n:3 (fun _ _ -> incr chunks);
+  Test_util.check_true "domains clamp to n" (!chunks <= 3);
+  let ran = ref false in
+  Pool.run ~domains:1 ~n:5 (fun lo hi -> ran := lo = 0 && hi = 5);
+  Test_util.check_true "width 1 runs serially over the whole range" !ran
+
+let test_pool_shutdown_quiesces () =
+  Pool.run ~domains:4 ~n:100 (fun _ _ -> ());
+  Test_util.check_true "workers alive after a parallel run"
+    (Pool.live_workers () > 0);
+  Pool.shutdown ();
+  Test_util.check_int "shutdown joins all workers" 0 (Pool.live_workers ());
+  (* the pool must come back for later callers *)
+  let hits = Atomic.make 0 in
+  Pool.run ~domains:4 ~n:100 (fun lo hi -> ignore (Atomic.fetch_and_add hits (hi - lo)));
+  Test_util.check_int "pool respawns after shutdown" 100 (Atomic.get hits);
+  (* leave no idle domains behind: the rest of the test binary is serial,
+     and idle domains tax every stop-the-world minor collection *)
+  Pool.shutdown ()
+
+let kernel_suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "tensor.kernels",
+      [
+        qcheck_matmul_matches_reference;
+        tc "matmul vs reference, blocked sizes" `Quick test_matmul_reference_large;
+        qcheck_batch_matmul_matches_reference;
+        qcheck_sum_axes_matches_reference;
+        qcheck_conv2d_matches_reference;
+        qcheck_conv2d_grads_match_reference;
+        tc "parallel matmul bit-identical" `Quick test_parallel_matmul_bit_identical;
+        tc "parallel batch matmul bit-identical" `Quick
+          test_parallel_batch_matmul_bit_identical;
+        tc "parallel conv2d bit-identical" `Quick test_parallel_conv2d_bit_identical;
+        qcheck_map2_fast_paths_match_strided;
+      ] );
+    ( "tensor.buffers",
+      [
+        tc "fill and blit" `Quick test_fill_and_blit;
+        tc "blit_flat" `Quick test_blit_flat;
+        tc "hash_contents" `Quick test_hash_contents;
+        tc "with_shape aliases" `Quick test_with_shape_aliases;
+      ] );
+    ( "tensor.pool",
+      [
+        tc "covers range" `Quick test_pool_covers_range;
+        tc "re-raises worker exceptions" `Quick test_pool_reraises;
+        tc "nested run is serial" `Quick test_pool_nested_serial;
+        tc "width clamps" `Quick test_pool_width_clamps;
+        tc "shutdown quiesces and respawns" `Quick test_pool_shutdown_quiesces;
+      ] );
+  ]
+
+let suite = suite @ kernel_suite
