@@ -1012,6 +1012,81 @@ let micro () =
         tbl)
     results
 
+(* ------------------------------------------------- deep profiling section *)
+
+(* The deep-profiling pillar end to end: train LeNet on the lazy runtime
+   with off-heap memory accounting enabled, then render the op profile,
+   the critical path, and the per-tag memory attribution as tables. *)
+let profile () =
+  let mem = S4o_obs.Memory.global in
+  S4o_obs.Memory.reset mem;
+  S4o_obs.Memory.set_enabled mem true;
+  Fun.protect
+    ~finally:(fun () -> S4o_obs.Memory.set_enabled mem false)
+    (fun () ->
+      let engine = S4o_device.Engine.create Spec.gtx1080 in
+      let rt = S4o_lazy.Lazy_runtime.create engine in
+      let module Bk = S4o_lazy.Lazy_backend.Make (struct
+        let rt = rt
+      end) in
+      let module M = S4o_nn.Models.Make (Bk) in
+      let module T = S4o_nn.Train.Make (Bk) in
+      let module O = S4o_nn.Optimizer.Make (Bk) in
+      let rng = S4o_tensor.Prng.create 3 in
+      let data = S4o_data.Dataset.synthetic_mnist rng ~n:32 in
+      let batches = S4o_data.Dataset.batches data ~batch_size:32 in
+      let model = M.lenet rng in
+      let opt = O.sgd ~lr:0.05 model in
+      ignore
+        (T.fit ~epochs:1 ~after_step:(fun ts -> Bk.barrier ts) model opt batches);
+      let report =
+        S4o_obs.Analysis.of_recorder (S4o_device.Engine.recorder engine)
+      in
+      let ms v = Printf.sprintf "%.3f ms" (1e3 *. v) in
+      Report.table
+        ~title:"Deep profiling: LeNet training step, op profile (lazy runtime)"
+        ~headers:[ "op"; "track"; "count"; "total"; "self"; "% wall" ]
+        ~rows:
+          (List.map
+             (fun (o : S4o_obs.Analysis.op_stat) ->
+               [
+                 o.name;
+                 S4o_obs.Recorder.track_name o.track;
+                 string_of_int o.count;
+                 ms o.total_seconds;
+                 ms o.self_seconds;
+                 Printf.sprintf "%.1f%%" (100.0 *. o.wall_fraction);
+               ])
+             (S4o_obs.Analysis.top 10 report));
+      Report.note "  wall clock      %s over %d spans" (ms report.wall_seconds)
+        report.span_count;
+      Report.note "  critical path   %s (%d spans, %.1f%% of wall)"
+        (ms report.critical.seconds)
+        (List.length report.critical.path)
+        (if report.wall_seconds > 0.0 then
+           100.0 *. report.critical.seconds /. report.wall_seconds
+         else 0.0);
+      Report.note "  host/device overlap %s, idle %s" (ms report.overlap_seconds)
+        (ms report.idle_seconds);
+      Report.table ~title:"Deep profiling: off-heap tensor memory by tag"
+        ~headers:[ "tag"; "live"; "peak"; "allocs"; "frees" ]
+        ~rows:
+          (List.map
+             (fun (s : S4o_obs.Memory.tag_stats) ->
+               [
+                 s.tag;
+                 string_of_int s.live_bytes;
+                 string_of_int s.peak_bytes;
+                 string_of_int s.allocs;
+                 string_of_int s.frees;
+               ])
+             (S4o_obs.Memory.tags mem));
+      Report.note "  peak tensor bytes %d, %d allocs / %d frees, %d views"
+        (S4o_obs.Memory.peak_bytes mem)
+        (S4o_obs.Memory.alloc_count mem)
+        (S4o_obs.Memory.free_count mem)
+        (S4o_obs.Memory.view_count mem))
+
 (* ------------------------------------------------------------------ main *)
 
 let sections =
@@ -1030,6 +1105,7 @@ let sections =
     ("ablation-static", ablation_static);
     ("ablation-dp", ablation_dp);
     ("timeline", timeline);
+    ("profile", profile);
     ("serve", serve);
     ("micro", micro);
     ( "kernels",

@@ -201,6 +201,188 @@ let spline_cmd =
     (Cmd.info "spline" ~doc:"On-device spline personalization (Table 4 workload)")
     Term.(const run_spline $ knots $ data $ shift)
 
+(* ---------------------------------------------------------------- profile *)
+
+let write_file path content =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content)
+
+let export_trace ~process path recorder =
+  match S4o_obs.Chrome_trace.to_file ~process path recorder with
+  | exception Sys_error msg ->
+      Printf.eprintf "error: cannot write trace: %s\n" msg;
+      exit 1
+  | () -> (
+      match
+        S4o_obs.Chrome_trace.validate (S4o_obs.Chrome_trace.to_string recorder)
+      with
+      | Ok n ->
+          Printf.printf
+            "Chrome trace with %d events written to %s (load in \
+             chrome://tracing or ui.perfetto.dev)\n"
+            n path
+      | Error msg ->
+          Printf.eprintf "internal error: bad trace export: %s\n" msg;
+          exit 1)
+
+(* The deep-profiling entry point: run a training workload with off-heap
+   memory tracking on, then report the unified stats, the memory profile,
+   the trace analysis (op profile + critical path), and the domain-pool
+   busy fractions — with optional Chrome-trace / JSON / Prometheus dumps. *)
+let run_profile backend model_name epochs batch_size n lr seed trace_out
+    profile_out prom_out =
+  let mem = S4o_obs.Memory.global in
+  S4o_obs.Memory.reset mem;
+  S4o_obs.Memory.set_enabled mem true;
+  S4o_tensor.Pool.reset_stats ();
+  let engine = S4o_device.Engine.create S4o_device.Device_spec.gtx1080 in
+  let finish ~runtime_name ~stats =
+    let stats = stats () in
+    let recorder = S4o_device.Engine.recorder engine in
+    let report = S4o_obs.Analysis.of_recorder recorder in
+    Printf.printf "\n%s runtime stats (S4o_obs.Stats.t):\n%!" runtime_name;
+    Format.printf "%a%!" S4o_obs.Stats.pp stats;
+    Printf.printf "\ntensor memory (off-heap):\n%!";
+    Format.printf "%a%!" S4o_obs.Memory.pp mem;
+    Printf.printf "\ntrace analysis:\n%!";
+    Format.printf "%a%!" S4o_obs.Analysis.pp report;
+    let ps = S4o_tensor.Pool.stats () in
+    let fractions = S4o_tensor.Pool.busy_fractions ps in
+    if ps.S4o_tensor.Pool.jobs > 0 then begin
+      Printf.printf
+        "\ndomain pool: %d parallel runs, %d chunks, %.3f s in flight\n"
+        ps.S4o_tensor.Pool.jobs ps.S4o_tensor.Pool.chunks
+        ps.S4o_tensor.Pool.run_wall_seconds;
+      List.iter
+        (fun (slot, f) ->
+          Printf.printf "  domain %d busy %5.1f%%%s\n" slot (100.0 *. f)
+            (if slot = 0 then " (caller)" else ""))
+        fractions
+    end
+    else Printf.printf "\ndomain pool: no parallel runs (workload too small)\n";
+    (* Fold the memory and pool readouts into the engine's metrics registry
+       so the Prometheus exposition carries the whole profile. *)
+    let m = S4o_device.Engine.metrics engine in
+    let set_gauge name v = S4o_obs.Metrics.set (S4o_obs.Metrics.gauge m name) v in
+    set_gauge "memory.tensor_live_bytes"
+      (float_of_int (S4o_obs.Memory.live_bytes mem));
+    set_gauge "memory.tensor_peak_bytes"
+      (float_of_int (S4o_obs.Memory.peak_bytes mem));
+    set_gauge "memory.tensor_allocs"
+      (float_of_int (S4o_obs.Memory.alloc_count mem));
+    List.iter
+      (fun (slot, f) ->
+        set_gauge (Printf.sprintf "pool.domain%d.busy_fraction" slot) f)
+      fractions;
+    (match prom_out with
+    | None -> ()
+    | Some path -> (
+        let text = S4o_obs.Prom.to_text m in
+        match S4o_obs.Prom.samples_of_text text with
+        | Ok samples ->
+            write_file path text;
+            Printf.printf "Prometheus exposition (%d samples) written to %s\n"
+              (List.length samples) path
+        | Error e ->
+            Printf.eprintf "internal error: bad prometheus output: %s\n" e;
+            exit 1));
+    (match profile_out with
+    | None -> ()
+    | Some path ->
+        let json =
+          S4o_obs.Json.Obj
+            [
+              ("runtime", S4o_obs.Json.Str runtime_name);
+              ("model", S4o_obs.Json.Str model_name);
+              ("analysis", S4o_obs.Analysis.to_json report);
+              ("memory", S4o_obs.Memory.to_json mem);
+            ]
+        in
+        write_file path (S4o_obs.Json.to_string json);
+        Printf.printf "profile JSON written to %s\n" path);
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+        export_trace ~process:(runtime_name ^ " runtime") path recorder);
+    S4o_obs.Memory.set_enabled mem false
+  in
+  match backend with
+  | Naive ->
+      prerr_endline
+        "error: profile needs a simulated runtime; use --backend eager or lazy";
+      exit 1
+  | Eager ->
+      let rt = S4o_eager.Runtime.create engine in
+      let module Bk = S4o_eager.Eager_backend.Make (struct
+        let rt = rt
+      end) in
+      train_with
+        (module Bk)
+        ~after_step:(fun _ -> ())
+        ~model_name ~epochs ~batch_size ~n ~lr ~seed
+        ~report:(fun () ->
+          finish ~runtime_name:"eager" ~stats:(fun () ->
+              S4o_eager.Runtime.stats rt))
+  | Lazy ->
+      let rt = S4o_lazy.Lazy_runtime.create engine in
+      let module Bk = S4o_lazy.Lazy_backend.Make (struct
+        let rt = rt
+      end) in
+      train_with
+        (module Bk)
+        ~after_step:(fun ts -> Bk.barrier ts)
+        ~model_name ~epochs ~batch_size ~n ~lr ~seed
+        ~report:(fun () ->
+          finish ~runtime_name:"lazy" ~stats:(fun () ->
+              S4o_lazy.Lazy_runtime.stats rt))
+
+let profile_cmd =
+  let backend =
+    Arg.(
+      value & opt backend_conv Lazy & info [ "backend" ] ~doc:"eager|lazy")
+  in
+  let model =
+    Arg.(value & opt string "lenet" & info [ "model" ] ~doc:"lenet|resnet-tiny|mlp")
+  in
+  let epochs = Arg.(value & opt int 1 & info [ "epochs" ]) in
+  let batch = Arg.(value & opt int 32 & info [ "batch-size" ]) in
+  let n = Arg.(value & opt int 128 & info [ "examples" ]) in
+  let lr = Arg.(value & opt float 1e-3 & info [ "lr" ]) in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ]) in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ]
+          ~doc:
+            "Write the timeline (with the tensor_live_bytes counter track) \
+             as Chrome trace-event JSON")
+  in
+  let profile_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile-out" ]
+          ~doc:"Write the trace analysis + memory profile as JSON")
+  in
+  let prom_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom-out" ]
+          ~doc:"Write the metrics registry in Prometheus text format")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Train with deep profiling on: memory accounting, op profile, \
+          critical path, Prometheus export")
+    Term.(
+      const run_profile $ backend $ model $ epochs $ batch $ n $ lr $ seed
+      $ trace_out $ profile_out $ prom_out)
+
 (* ------------------------------------------------------------------ serve *)
 
 let strategy_conv =
@@ -228,7 +410,8 @@ let model_conv =
   Arg.conv (parse, fun ppf m -> Fmt.string ppf (S4o_serve.Model.name m))
 
 let run_serve model strategy device replicas max_batch batch_timeout_ms
-    queue_capacity slo_ms policy rate burst clients requests seed trace_out =
+    queue_capacity slo_ms policy rate burst clients requests seed trace_out
+    prom_out =
   let open S4o_serve in
   let spec =
     match S4o_device.Device_spec.of_name device with
@@ -256,6 +439,18 @@ let run_serve model strategy device replicas max_batch batch_timeout_ms
   in
   let t = Server.run cfg workload in
   Format.printf "%a%!" Serve_stats.pp (Server.stats t);
+  (match prom_out with
+  | None -> ()
+  | Some path -> (
+      let text = S4o_obs.Prom.to_text (Server.metrics t) in
+      match S4o_obs.Prom.samples_of_text text with
+      | Ok samples ->
+          write_file path text;
+          Printf.printf "Prometheus exposition (%d samples) written to %s\n"
+            (List.length samples) path
+      | Error e ->
+          Printf.eprintf "internal error: bad prometheus output: %s\n" e;
+          exit 1));
   match trace_out with
   | None -> ()
   | Some path -> (
@@ -331,17 +526,24 @@ let serve_cmd =
       & info [ "trace-out" ]
           ~doc:"Write server + replica timelines as Chrome trace-event JSON")
   in
+  let prom_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom-out" ]
+          ~doc:"Write the server metrics registry in Prometheus text format")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve inference on simulated replicas with dynamic batching")
     Term.(
       const run_serve $ model $ strategy $ device $ replicas $ max_batch
       $ timeout $ queue $ slo $ policy $ rate $ burst $ clients $ requests
-      $ seed $ trace_out)
+      $ seed $ trace_out $ prom_out)
 
 let () =
   let doc = "Swift-for-TensorFlow-in-OCaml platform driver" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "s4o" ~doc)
-          [ train_cmd; trace_cmd; spline_cmd; serve_cmd ]))
+          [ train_cmd; trace_cmd; spline_cmd; profile_cmd; serve_cmd ]))

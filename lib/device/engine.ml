@@ -68,6 +68,13 @@ let dispatch t (op : Op_info.t) =
       ]
     op.name ~start ~finish:t.device_ready;
   Recorder.counter t.recorder Recorder.Device "pipeline_depth" ~at:t.host depth;
+  (* When off-heap tensor tracking is on, sample it alongside every
+     dispatch so the exported trace carries a live-memory counter track
+     aligned with the kernel timeline. *)
+  let mem = S4o_obs.Memory.global in
+  if S4o_obs.Memory.enabled mem then
+    Recorder.counter t.recorder Recorder.Host "tensor_live_bytes" ~at:t.host
+      (float_of_int (S4o_obs.Memory.live_bytes mem));
   t.device_ready
 
 let sync t =
@@ -103,6 +110,10 @@ let stats t =
     live_bytes = t.live;
     peak_bytes = t.peak;
     spans_recorded = Recorder.span_count t.recorder;
+    tensor_live_bytes = S4o_obs.Memory.live_bytes S4o_obs.Memory.global;
+    tensor_peak_bytes = S4o_obs.Memory.peak_bytes S4o_obs.Memory.global;
+    tensor_allocs = S4o_obs.Memory.alloc_count S4o_obs.Memory.global;
+    tensor_frees = S4o_obs.Memory.free_count S4o_obs.Memory.global;
   }
 
 let reset t =

@@ -43,5 +43,4 @@ let stats t =
   }
 
 let reset_stats t = Engine.reset t.engine
-let ops_dispatched t = Metrics.counter_value t.ops
 let host_time t = Engine.host_time t.engine

@@ -38,8 +38,5 @@ val stats : t -> S4o_obs.Stats.t
 (** Zero all counters, clocks, metrics, and the recorded timeline. *)
 val reset_stats : t -> unit
 
-val ops_dispatched : t -> int
-  [@@deprecated "use (stats t).S4o_obs.Stats.ops_dispatched"]
-
 (** Simulated host seconds so far. *)
 val host_time : t -> float

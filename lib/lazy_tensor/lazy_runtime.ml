@@ -19,6 +19,10 @@ type stats = S4o_obs.Stats.t = {
   live_bytes : int;
   peak_bytes : int;
   spans_recorded : int;
+  tensor_live_bytes : int;
+  tensor_peak_bytes : int;
+  tensor_allocs : int;
+  tensor_frees : int;
 }
 
 type t = {
@@ -193,7 +197,6 @@ let note_recorded t node =
         materialize t t.recent
       end
 
-let auto_cuts t = Metrics.counter_value t.c_auto_cuts
 let cache_size t = Hashtbl.length t.cache
 
 let force t node =

@@ -37,6 +37,10 @@ type stats = S4o_obs.Stats.t = {
   live_bytes : int;
   peak_bytes : int;
   spans_recorded : int;
+  tensor_live_bytes : int;
+  tensor_peak_bytes : int;
+  tensor_allocs : int;
+  tensor_frees : int;
 }
 
 (** [create ?trace_overhead_per_op ?cache_enabled ?auto_cut_threshold
@@ -80,9 +84,6 @@ val barrier : t -> Trace.node list -> unit
     when the threshold is reached. A no-op unless [auto_cut_threshold] was
     given. *)
 val note_recorded : t -> Trace.node -> unit
-
-val auto_cuts : t -> int
-  [@@deprecated "use (stats t).S4o_obs.Stats.auto_cuts"]
 
 (** Number of distinct compiled programs currently cached — one per unique
     trace fingerprint. A serving workload that buckets its batch shapes

@@ -1,0 +1,350 @@
+type op_stat = {
+  name : string;
+  track : Recorder.track;
+  count : int;
+  total_seconds : float;
+  self_seconds : float;
+  wall_fraction : float;
+}
+
+type critical_path = { path : Recorder.span list; seconds : float }
+
+type report = {
+  wall_seconds : float;
+  span_count : int;
+  host_busy_seconds : float;
+  device_busy_seconds : float;
+  overlap_seconds : float;
+  idle_seconds : float;
+  op_profile : op_stat list;
+  critical : critical_path;
+}
+
+(* Timestamps are simulated seconds (ms–s scale); touching spans are often
+   exactly adjacent, so a tiny absolute slack covers float noise. *)
+let eps = 1e-12
+
+let dur (s : Recorder.span) = s.Recorder.finish -. s.Recorder.start
+
+(* {1 Interval coverage} *)
+
+(* Union length of possibly-overlapping intervals, plus the merged list. *)
+let merge_intervals spans =
+  let ivs =
+    List.sort compare
+      (List.map (fun (s : Recorder.span) -> (s.Recorder.start, s.Recorder.finish)) spans)
+  in
+  let merged =
+    List.fold_left
+      (fun acc (lo, hi) ->
+        match acc with
+        | (plo, phi) :: rest when lo <= phi +. eps ->
+            (plo, Float.max phi hi) :: rest
+        | _ -> (lo, hi) :: acc)
+      [] ivs
+  in
+  let merged = List.rev merged in
+  (merged, List.fold_left (fun acc (lo, hi) -> acc +. (hi -. lo)) 0.0 merged)
+
+(* Total length of the intersection of two merged interval lists. *)
+let rec intersect_len a b =
+  match (a, b) with
+  | [], _ | _, [] -> 0.0
+  | (alo, ahi) :: arest, (blo, bhi) :: brest ->
+      let lo = Float.max alo blo and hi = Float.min ahi bhi in
+      let here = Float.max 0.0 (hi -. lo) in
+      if ahi < bhi then here +. intersect_len arest b
+      else here +. intersect_len a brest
+
+(* {1 Op profile: count, total, self per (name, track)} *)
+
+(* Self time via the classic flamegraph stack walk: spans sorted by
+   (start asc, finish desc) visit parents before their children; each span
+   charges the portion of itself overlapping its immediate parent to that
+   parent's child-time, and self = duration - child-time. Within one track
+   the resulting self intervals are disjoint, so per-track self times sum
+   to at most the wall clock. *)
+let profile_track spans =
+  let arr = Array.of_list spans in
+  Array.sort
+    (fun (a : Recorder.span) (b : Recorder.span) ->
+      match compare a.Recorder.start b.Recorder.start with
+      | 0 -> compare b.Recorder.finish a.Recorder.finish
+      | c -> c)
+    arr;
+  let child = Array.make (Array.length arr) 0.0 in
+  let stack = ref [] in
+  let self = Hashtbl.create 16 in
+  let charge i =
+    let s = arr.(i) in
+    let self_t = Float.max 0.0 (dur s -. child.(i)) in
+    let key = s.Recorder.name in
+    let count, total, slf =
+      match Hashtbl.find_opt self key with
+      | Some (c, t, sl) -> (c, t, sl)
+      | None -> (0, 0.0, 0.0)
+    in
+    Hashtbl.replace self key (count + 1, total +. dur s, slf +. self_t)
+  in
+  Array.iteri
+    (fun i (s : Recorder.span) ->
+      let rec pop () =
+        match !stack with
+        | j :: rest when arr.(j).Recorder.finish <= s.Recorder.start +. eps ->
+            stack := rest;
+            charge j;
+            pop ()
+        | _ -> ()
+      in
+      pop ();
+      (match !stack with
+      | j :: _ ->
+          let parent = arr.(j) in
+          let overlap =
+            Float.min parent.Recorder.finish s.Recorder.finish
+            -. s.Recorder.start
+          in
+          child.(j) <- child.(j) +. Float.max 0.0 overlap
+      | [] -> ());
+      stack := i :: !stack)
+    arr;
+  List.iter charge !stack;
+  stack := [];
+  self
+
+(* {1 Critical path} *)
+
+(* Maximum-duration chain of spans under the partial order
+   [a.finish <= b.start]: sort by start, sweep a finish-ordered frontier to
+   keep a running best over every span already finished, and link
+   predecessors for reconstruction. O(n log n). Chains cover disjoint
+   sub-intervals of the wall, so the result is <= wall by construction. *)
+let critical_path spans =
+  let arr = Array.of_list spans in
+  let n = Array.length arr in
+  if n = 0 then { path = []; seconds = 0.0 }
+  else begin
+    let by_start = Array.init n (fun i -> i) in
+    Array.sort
+      (fun a b -> compare arr.(a).Recorder.start arr.(b).Recorder.start)
+      by_start;
+    let by_finish = Array.init n (fun i -> i) in
+    Array.sort
+      (fun a b -> compare arr.(a).Recorder.finish arr.(b).Recorder.finish)
+      by_finish;
+    let best = Array.make n 0.0 in
+    let pred = Array.make n (-1) in
+    let run_best = ref 0.0 and run_arg = ref (-1) in
+    let fptr = ref 0 in
+    Array.iter
+      (fun i ->
+        let start = arr.(i).Recorder.start in
+        while
+          !fptr < n && arr.(by_finish.(!fptr)).Recorder.finish <= start +. eps
+        do
+          let j = by_finish.(!fptr) in
+          (* [best.(j)] is final: j started (hence was processed) before i *)
+          if best.(j) > !run_best then begin
+            run_best := best.(j);
+            run_arg := j
+          end;
+          incr fptr
+        done;
+        best.(i) <- dur arr.(i) +. !run_best;
+        pred.(i) <- !run_arg)
+      by_start;
+    let last = ref 0 in
+    Array.iteri (fun i b -> if b > best.(!last) then last := i) best;
+    let rec chain acc i = if i < 0 then acc else chain (arr.(i) :: acc) pred.(i) in
+    { path = chain [] !last; seconds = best.(!last) }
+  end
+
+(* {1 Reports} *)
+
+let of_spans spans =
+  let span_count = List.length spans in
+  if span_count = 0 then
+    {
+      wall_seconds = 0.0;
+      span_count = 0;
+      host_busy_seconds = 0.0;
+      device_busy_seconds = 0.0;
+      overlap_seconds = 0.0;
+      idle_seconds = 0.0;
+      op_profile = [];
+      critical = { path = []; seconds = 0.0 };
+    }
+  else begin
+    let t0 =
+      List.fold_left
+        (fun acc (s : Recorder.span) -> Float.min acc s.Recorder.start)
+        infinity spans
+    and t1 =
+      List.fold_left
+        (fun acc (s : Recorder.span) -> Float.max acc s.Recorder.finish)
+        neg_infinity spans
+    in
+    let wall = Float.max 0.0 (t1 -. t0) in
+    let track tr =
+      List.filter (fun (s : Recorder.span) -> s.Recorder.track = tr) spans
+    in
+    let host = track Recorder.Host and device = track Recorder.Device in
+    let host_iv, host_busy = merge_intervals host in
+    let dev_iv, dev_busy = merge_intervals device in
+    let overlap = intersect_len host_iv dev_iv in
+    let _, any_busy = merge_intervals spans in
+    let profile =
+      List.concat_map
+        (fun (tr, sp) ->
+          Hashtbl.fold
+            (fun name (count, total, self) acc ->
+              {
+                name;
+                track = tr;
+                count;
+                total_seconds = total;
+                self_seconds = self;
+                wall_fraction = (if wall > 0.0 then self /. wall else 0.0);
+              }
+              :: acc)
+            (profile_track sp) [])
+        [ (Recorder.Host, host); (Recorder.Device, device) ]
+      |> List.sort (fun a b -> compare b.self_seconds a.self_seconds)
+    in
+    {
+      wall_seconds = wall;
+      span_count;
+      host_busy_seconds = host_busy;
+      device_busy_seconds = dev_busy;
+      overlap_seconds = overlap;
+      idle_seconds = Float.max 0.0 (wall -. any_busy);
+      op_profile = profile;
+      critical = critical_path spans;
+    }
+  end
+
+let of_recorder r = of_spans (Recorder.spans r)
+
+let of_trace_json s =
+  match Json.parse s with
+  | Error msg -> Error ("invalid JSON: " ^ msg)
+  | Ok j -> (
+      match Option.bind (Json.member "traceEvents" j) Json.to_list with
+      | None -> Error "missing traceEvents array"
+      | Some events ->
+          let spans =
+            List.filter_map
+              (fun e ->
+                match Option.bind (Json.member "ph" e) Json.to_str with
+                | Some "X" ->
+                    let str k =
+                      Option.value ~default:""
+                        (Option.bind (Json.member k e) Json.to_str)
+                    and num k =
+                      Option.bind (Json.member k e) Json.to_float
+                    in
+                    Option.bind (num "ts") (fun ts ->
+                        Option.map
+                          (fun d ->
+                            {
+                              Recorder.name = str "name";
+                              cat = str "cat";
+                              track =
+                                (match num "tid" with
+                                | Some 2.0 -> Recorder.Device
+                                | _ -> Recorder.Host);
+                              start = ts /. 1e6;
+                              finish = (ts +. d) /. 1e6;
+                              args = [];
+                            })
+                          (num "dur"))
+                | _ -> None)
+              events
+          in
+          Ok (of_spans spans))
+
+let self_time_by_track r =
+  List.fold_left
+    (fun (h, d) (o : op_stat) ->
+      match o.track with
+      | Recorder.Host -> (h +. o.self_seconds, d)
+      | Recorder.Device -> (h, d +. o.self_seconds))
+    (0.0, 0.0) r.op_profile
+
+let top n r = List.filteri (fun i _ -> i < n) r.op_profile
+
+let ms v = Printf.sprintf "%.3f ms" (v *. 1e3)
+
+let pp ppf r =
+  let frac v = if r.wall_seconds > 0.0 then v /. r.wall_seconds else 0.0 in
+  Format.fprintf ppf "  wall clock              %s (%d spans)@."
+    (ms r.wall_seconds) r.span_count;
+  Format.fprintf ppf "  host busy               %s (%.1f%%)@."
+    (ms r.host_busy_seconds)
+    (100.0 *. frac r.host_busy_seconds);
+  Format.fprintf ppf "  device busy             %s (%.1f%%)@."
+    (ms r.device_busy_seconds)
+    (100.0 *. frac r.device_busy_seconds);
+  Format.fprintf ppf "  host/device overlap     %s (%.1f%%)@."
+    (ms r.overlap_seconds)
+    (100.0 *. frac r.overlap_seconds);
+  Format.fprintf ppf "  idle gaps               %s (%.1f%%)@." (ms r.idle_seconds)
+    (100.0 *. frac r.idle_seconds);
+  Format.fprintf ppf "  critical path           %s (%.1f%% of wall, %d spans)@."
+    (ms r.critical.seconds)
+    (100.0 *. frac r.critical.seconds)
+    (List.length r.critical.path);
+  Format.fprintf ppf "  op profile (top %d by self time):@."
+    (min 12 (List.length r.op_profile));
+  Format.fprintf ppf "    %-24s %-7s %6s %12s %12s %7s@." "op" "track" "count"
+    "total" "self" "% wall";
+  List.iter
+    (fun (o : op_stat) ->
+      Format.fprintf ppf "    %-24s %-7s %6d %12s %12s %6.1f%%@." o.name
+        (Recorder.track_name o.track)
+        o.count (ms o.total_seconds) (ms o.self_seconds)
+        (100.0 *. o.wall_fraction))
+    (top 12 r)
+
+let to_json r =
+  let open Json in
+  Obj
+    [
+      ("wall_seconds", Num r.wall_seconds);
+      ("span_count", Num (float_of_int r.span_count));
+      ("host_busy_seconds", Num r.host_busy_seconds);
+      ("device_busy_seconds", Num r.device_busy_seconds);
+      ("overlap_seconds", Num r.overlap_seconds);
+      ("idle_seconds", Num r.idle_seconds);
+      ( "critical_path",
+        Obj
+          [
+            ("seconds", Num r.critical.seconds);
+            ( "spans",
+              Arr
+                (List.map
+                   (fun (s : Recorder.span) ->
+                     Obj
+                       [
+                         ("name", Str s.Recorder.name);
+                         ("track", Str (Recorder.track_name s.Recorder.track));
+                         ("start", Num s.Recorder.start);
+                         ("finish", Num s.Recorder.finish);
+                       ])
+                   r.critical.path) );
+          ] );
+      ( "op_profile",
+        Arr
+          (List.map
+             (fun (o : op_stat) ->
+               Obj
+                 [
+                   ("name", Str o.name);
+                   ("track", Str (Recorder.track_name o.track));
+                   ("count", Num (float_of_int o.count));
+                   ("total_seconds", Num o.total_seconds);
+                   ("self_seconds", Num o.self_seconds);
+                   ("wall_fraction", Num o.wall_fraction);
+                 ])
+             r.op_profile) );
+    ]

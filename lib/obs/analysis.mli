@@ -1,0 +1,64 @@
+(** Trace analysis: turn a recorded timeline into answers.
+
+    The {!Recorder} (and its Chrome-trace export) shows {e where} time went
+    only to a human scrolling Perfetto. This module computes the three
+    summaries every perf investigation starts from, directly from the
+    spans:
+
+    - an {b op profile}: per span name, the count, total and {e self} time
+      (total minus time spent in nested child spans on the same track), and
+      the fraction of wall-clock it represents. Within one track self-times
+      cover disjoint intervals, so they sum to at most the wall time — the
+      sanity invariant the tests pin.
+    - {b host/device overlap}: how much of the wall both tracks were busy
+      (the §3.2 pipeline working), how much neither was (idle gaps).
+    - the {b critical path}: the maximum-duration chain of spans in which
+      each span starts at-or-after the previous one finishes, across both
+      tracks — the host→device dependency chain that bounds the run. By
+      construction its length is at most the wall clock.
+
+    Works on a live {!Recorder.t} or on an exported Chrome-trace JSON
+    string ({!of_trace_json}), so saved traces can be analysed offline. *)
+
+type op_stat = {
+  name : string;
+  track : Recorder.track;
+  count : int;
+  total_seconds : float;  (** Sum of span durations. *)
+  self_seconds : float;  (** Total minus nested children on the same track. *)
+  wall_fraction : float;  (** [self_seconds / wall_seconds] (0 if no wall). *)
+}
+
+type critical_path = {
+  path : Recorder.span list;  (** The chain, in execution order. *)
+  seconds : float;  (** Sum of chain durations; [<= wall_seconds]. *)
+}
+
+type report = {
+  wall_seconds : float;  (** [max finish - min start] over all spans. *)
+  span_count : int;
+  host_busy_seconds : float;  (** Union coverage of host-track spans. *)
+  device_busy_seconds : float;  (** Union coverage of device-track spans. *)
+  overlap_seconds : float;  (** Both tracks busy simultaneously. *)
+  idle_seconds : float;  (** Neither track busy (gaps inside the wall). *)
+  op_profile : op_stat list;  (** Sorted by self time, descending. *)
+  critical : critical_path;
+}
+
+val of_spans : Recorder.span list -> report
+val of_recorder : Recorder.t -> report
+
+(** Analyse an exported Chrome trace (all processes merged): complete
+    events ([ph:"X"]) become spans; [tid 2] is the device track, anything
+    else the host track; microseconds become seconds. *)
+val of_trace_json : string -> (report, string) result
+
+(** Self-time sums per track, [(host, device)] — each [<= wall_seconds]
+    up to rounding. *)
+val self_time_by_track : report -> float * float
+
+(** [top n report] is the op profile truncated to the [n] largest entries. *)
+val top : int -> report -> op_stat list
+
+val pp : Format.formatter -> report -> unit
+val to_json : report -> Json.t

@@ -96,18 +96,45 @@ let validate s =
       match Option.bind (Json.member "traceEvents" j) Json.to_list with
       | None -> Error "missing traceEvents array"
       | Some events ->
-          let ok =
-            List.for_all
-              (fun e ->
-                let has k to_ty =
-                  match Option.bind (Json.member k e) to_ty with
-                  | Some _ -> true
-                  | None -> false
-                in
-                has "name" Json.to_str && has "ph" Json.to_str
-                && has "pid" Json.to_float
-                && has "tid" Json.to_float)
-              events
+          (* Beyond structural checks, enforce the two invariants the
+             recorder's monotone simulated clocks guarantee: complete
+             spans never have negative durations, and samples of one
+             counter series (same pid/tid/name) appear in non-decreasing
+             timestamp order. A violation means a broken exporter or a
+             hand-mangled trace, not a viewable timeline. *)
+          let last_counter_ts = Hashtbl.create 16 in
+          let rec check n = function
+            | [] -> Ok n
+            | e :: rest -> (
+                let str k = Option.bind (Json.member k e) Json.to_str in
+                let num k = Option.bind (Json.member k e) Json.to_float in
+                match (str "name", str "ph", num "pid", num "tid") with
+                | None, _, _, _ | _, None, _, _ | _, _, None, _ | _, _, _, None
+                  ->
+                    Error "malformed trace event"
+                | Some name, Some ph, Some pid, Some tid -> (
+                    match ph with
+                    | "X" -> (
+                        match num "dur" with
+                        | None -> Error ("span without dur: " ^ name)
+                        | Some d when d < 0.0 ->
+                            Error ("negative span duration: " ^ name)
+                        | Some _ -> check (n + 1) rest)
+                    | "C" -> (
+                        match num "ts" with
+                        | None -> Error ("counter without ts: " ^ name)
+                        | Some ts ->
+                            let key = (pid, tid, name) in
+                            let prev =
+                              Option.value ~default:neg_infinity
+                                (Hashtbl.find_opt last_counter_ts key)
+                            in
+                            if ts < prev then
+                              Error ("non-monotone counter timestamps: " ^ name)
+                            else begin
+                              Hashtbl.replace last_counter_ts key ts;
+                              check (n + 1) rest
+                            end)
+                    | _ -> check (n + 1) rest))
           in
-          if ok then Ok (List.length events)
-          else Error "malformed trace event")
+          check 0 events)

@@ -178,6 +178,40 @@ let snapshot t =
       (name, v))
     t.order
 
+type export =
+  | Counter_x of int
+  | Gauge_x of { last : float; peak : float }
+  | Histogram_x of {
+      count : int;
+      sum : float;
+      min : float;
+      max : float;
+      buckets : (float * int) list;
+      quantiles : (float * float) list;
+    }
+
+let export t =
+  List.rev_map
+    (fun name ->
+      let v =
+        match Hashtbl.find t.tbl name with
+        | Counter c -> Counter_x c.count
+        | Gauge g -> Gauge_x { last = gauge_value g; peak = gauge_peak g }
+        | Histogram h ->
+            Histogram_x
+              {
+                count = h.n;
+                sum = h.sum;
+                min = hist_min h;
+                max = hist_max h;
+                buckets = hist_buckets h;
+                quantiles =
+                  List.map (fun q -> (q, quantile h q)) [ 0.5; 0.9; 0.99 ];
+              }
+      in
+      (name, v))
+    t.order
+
 let reset t =
   Hashtbl.iter
     (fun _ m ->

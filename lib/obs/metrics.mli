@@ -38,6 +38,13 @@ val gauge_peak : gauge -> float
 val observe : histogram -> float -> unit
 val hist_count : histogram -> int
 val hist_sum : histogram -> float
+
+(** {b Empty-histogram convention}: every scalar readout of a histogram
+    with no observations is [0] — [hist_mean], [hist_max], [hist_min],
+    [quantile], and each field of {!summary} — never the accumulator
+    initialisers ([infinity]/[neg_infinity]) they start from. Callers can
+    render a fresh registry without guarding every read. *)
+
 val hist_mean : histogram -> float
 val hist_max : histogram -> float
 val hist_min : histogram -> float
@@ -76,6 +83,24 @@ type value =
 
 (** All registered metrics in registration order. *)
 val snapshot : t -> (string * value) list
+
+(** The full-fidelity export {!Prom} (and any other exposition format)
+    renders from: everything {!value} carries plus histogram min/max,
+    per-bucket counts, and the standard quantiles. *)
+type export =
+  | Counter_x of int
+  | Gauge_x of { last : float; peak : float }
+  | Histogram_x of {
+      count : int;
+      sum : float;
+      min : float;
+      max : float;
+      buckets : (float * int) list;  (** Per-bucket (upper bound, count). *)
+      quantiles : (float * float) list;  (** [(q, value)] for p50/p90/p99. *)
+    }
+
+(** All registered metrics, in registration order, with full detail. *)
+val export : t -> (string * export) list
 
 (** Zero every metric (registrations survive). *)
 val reset : t -> unit

@@ -1,0 +1,192 @@
+type sample = {
+  metric : string;
+  labels : (string * string) list;
+  value : float;
+}
+
+let valid_char i c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || c = '_' || c = ':'
+  || (i > 0 && c >= '0' && c <= '9')
+
+let sanitize ?(namespace = "s4o") name =
+  let full = if namespace = "" then name else namespace ^ "_" ^ name in
+  String.mapi (fun i c -> if valid_char i c then c else '_') full
+
+(* Prometheus value rendering: integral values without a fraction, +Inf for
+   the last bucket bound, enough digits elsewhere to round-trip. *)
+let fmt_value v =
+  if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_nan v then "NaN"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let to_text ?namespace t =
+  let buf = Buffer.create 1024 in
+  let line name ?(labels = []) v =
+    Buffer.add_string buf name;
+    (match labels with
+    | [] -> ()
+    | labels ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf k;
+            Buffer.add_string buf "=\"";
+            String.iter
+              (function
+                | '\\' -> Buffer.add_string buf "\\\\"
+                | '"' -> Buffer.add_string buf "\\\""
+                | '\n' -> Buffer.add_string buf "\\n"
+                | c -> Buffer.add_char buf c)
+              v;
+            Buffer.add_char buf '"')
+          labels;
+        Buffer.add_char buf '}');
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (fmt_value v);
+    Buffer.add_char buf '\n'
+  in
+  let typ name kind =
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+  in
+  List.iter
+    (fun (raw_name, x) ->
+      let name = sanitize ?namespace raw_name in
+      match x with
+      | Metrics.Counter_x v ->
+          typ name "counter";
+          line name (float_of_int v)
+      | Metrics.Gauge_x { last; peak } ->
+          typ name "gauge";
+          line name last;
+          typ (name ^ "_peak") "gauge";
+          line (name ^ "_peak") peak
+      | Metrics.Histogram_x { count; sum; buckets; quantiles; _ } ->
+          typ name "histogram";
+          let cumulative = ref 0 in
+          List.iter
+            (fun (upper, c) ->
+              cumulative := !cumulative + c;
+              line (name ^ "_bucket")
+                ~labels:[ ("le", fmt_value upper) ]
+                (float_of_int !cumulative))
+            buckets;
+          line (name ^ "_sum") sum;
+          line (name ^ "_count") (float_of_int count);
+          List.iter
+            (fun (q, v) -> line name ~labels:[ ("quantile", fmt_value q) ] v)
+            quantiles)
+    (Metrics.export t);
+  Buffer.contents buf
+
+(* {1 Parsing} *)
+
+let parse_labels lineno s =
+  (* s is the text between '{' and '}' *)
+  let n = String.length s in
+  let fail msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  let rec pairs acc i =
+    if i >= n then Ok (List.rev acc)
+    else
+      match String.index_from_opt s i '=' with
+      | None -> fail "label without '='"
+      | Some eq ->
+          let key = String.trim (String.sub s i (eq - i)) in
+          if eq + 1 >= n || s.[eq + 1] <> '"' then fail "label value not quoted"
+          else begin
+            let b = Buffer.create 16 in
+            let rec scan j =
+              if j >= n then fail "unterminated label value"
+              else
+                match s.[j] with
+                | '\\' when j + 1 < n ->
+                    Buffer.add_char b
+                      (match s.[j + 1] with 'n' -> '\n' | c -> c);
+                    scan (j + 2)
+                | '"' -> Ok j
+                | c ->
+                    Buffer.add_char b c;
+                    scan (j + 1)
+            in
+            match scan (eq + 2) with
+            | Error e -> Error e
+            | Ok close ->
+                let acc = (key, Buffer.contents b) :: acc in
+                let i = close + 1 in
+                if i < n && s.[i] = ',' then pairs acc (i + 1)
+                else if i >= n then Ok (List.rev acc)
+                else fail "junk after label value"
+          end
+  in
+  pairs [] 0
+
+let parse_value lineno s =
+  match String.trim s with
+  | "+Inf" -> Ok infinity
+  | "-Inf" -> Ok neg_infinity
+  | "NaN" -> Ok Float.nan
+  | v -> (
+      match float_of_string_opt v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "line %d: bad value %S" lineno v))
+
+let samples_of_text text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go acc (lineno + 1) rest
+        else
+          let metric_end =
+            match String.index_opt line '{' with
+            | Some i -> i
+            | None -> (
+                match String.index_opt line ' ' with
+                | Some i -> i
+                | None -> String.length line)
+          in
+          let metric = String.sub line 0 metric_end in
+          if metric = "" then
+            Error (Printf.sprintf "line %d: missing metric name" lineno)
+          else
+            let labels_res, value_start =
+              if metric_end < String.length line && line.[metric_end] = '{' then
+                match String.index_from_opt line metric_end '}' with
+                | None ->
+                    (Error (Printf.sprintf "line %d: unterminated labels" lineno), 0)
+                | Some close ->
+                    ( parse_labels lineno
+                        (String.sub line (metric_end + 1) (close - metric_end - 1)),
+                      close + 1 )
+              else (Ok [], metric_end)
+            in
+            match labels_res with
+            | Error e -> Error e
+            | Ok labels -> (
+                let rest_of_line =
+                  String.sub line value_start (String.length line - value_start)
+                in
+                match parse_value lineno rest_of_line with
+                | Error e -> Error e
+                | Ok value ->
+                    go ({ metric; labels; value } :: acc) (lineno + 1) rest))
+  in
+  go [] 1 lines
+
+let find samples ?(labels = []) metric =
+  List.find_map
+    (fun s ->
+      if
+        s.metric = metric
+        && List.for_all
+             (fun (k, v) -> List.assoc_opt k s.labels = Some v)
+             labels
+      then Some s.value
+      else None)
+    samples

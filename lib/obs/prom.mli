@@ -1,0 +1,41 @@
+(** Prometheus text-format exposition of a {!Metrics} registry.
+
+    Renders every registered metric in the Prometheus exposition format
+    (version 0.0.4, the [text/plain] scrape format): counters and gauges as
+    single samples, gauges additionally as a [<name>_peak] series,
+    histograms as cumulative [<name>_bucket{le="..."}] series plus
+    [<name>_sum]/[<name>_count] and exact [{quantile="..."}] samples
+    (p50/p90/p99 — the registry keeps all observations, so these are exact,
+    not bucket-interpolated).
+
+    Metric names are sanitised to the Prometheus grammar
+    ([\[a-zA-Z_:\]\[a-zA-Z0-9_:\]*]): the registry's dotted names
+    ([lazy.cache_hits]) become underscored ([s4o_lazy_cache_hits] under the
+    default namespace).
+
+    {!samples_of_text} parses the format back into samples — the round-trip
+    the tests run, and the reader for any saved scrape. *)
+
+(** One exposition line: [name{labels} value]. *)
+type sample = {
+  metric : string;
+  labels : (string * string) list;  (** In appearance order; often empty. *)
+  value : float;
+}
+
+(** [sanitize ?namespace name] is the exposition name for a registry
+    name — invalid characters become [_], and [namespace] (default
+    ["s4o"]) is prefixed. *)
+val sanitize : ?namespace:string -> string -> string
+
+(** Render a whole registry. *)
+val to_text : ?namespace:string -> Metrics.t -> string
+
+(** Parse exposition text back into samples (comment and [# TYPE]/[# HELP]
+    lines are skipped). Returns [Error] with a line number on malformed
+    input. *)
+val samples_of_text : string -> (sample list, string) result
+
+(** [find samples ?labels name] is the value of the first sample called
+    [name] whose labels include every pair in [labels]. *)
+val find : sample list -> ?labels:(string * string) list -> string -> float option

@@ -15,6 +15,10 @@ type t = {
   live_bytes : int;
   peak_bytes : int;
   spans_recorded : int;
+  tensor_live_bytes : int;
+  tensor_peak_bytes : int;
+  tensor_allocs : int;
+  tensor_frees : int;
 }
 
 let zero =
@@ -35,6 +39,10 @@ let zero =
     live_bytes = 0;
     peak_bytes = 0;
     spans_recorded = 0;
+    tensor_live_bytes = 0;
+    tensor_peak_bytes = 0;
+    tensor_allocs = 0;
+    tensor_frees = 0;
   }
 
 let rows t =
@@ -57,6 +65,10 @@ let rows t =
     ("live bytes", i t.live_bytes);
     ("peak bytes", i t.peak_bytes);
     ("spans recorded", i t.spans_recorded);
+    ("tensor live bytes", i t.tensor_live_bytes);
+    ("tensor peak bytes", i t.tensor_peak_bytes);
+    ("tensor allocs", i t.tensor_allocs);
+    ("tensor frees", i t.tensor_frees);
   ]
 
 let pp ppf t =

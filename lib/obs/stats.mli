@@ -25,6 +25,12 @@ type t = {
   live_bytes : int;  (** Device memory currently attributed. *)
   peak_bytes : int;  (** Peak device memory. *)
   spans_recorded : int;  (** Events captured by the {!Recorder}. *)
+  tensor_live_bytes : int;
+      (** Off-heap tensor bytes currently live ({!Memory.global}); zero
+          unless memory tracking is enabled. *)
+  tensor_peak_bytes : int;  (** Peak off-heap tensor bytes. *)
+  tensor_allocs : int;  (** Tensor buffer allocations observed. *)
+  tensor_frees : int;  (** Tensor buffer frees observed (GC finalisers). *)
 }
 
 val zero : t

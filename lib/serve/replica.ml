@@ -171,7 +171,8 @@ let run_batch t ~now ~batch =
       "serve-batch"
       ~at:(Engine.host_time t.engine)
   in
-  t.run ~batch;
+  S4o_obs.Memory.with_tag S4o_obs.Memory.global "serve-batch" (fun () ->
+      t.run ~batch);
   Recorder.end_span rec_ span ~at:(Engine.host_time t.engine);
   t.batches <- t.batches + 1;
   t.slots <- t.slots + batch;

@@ -31,6 +31,7 @@ type t = {
   cache_hits : int;
   cache_misses : int;
   compiled_programs : int;  (** Across replicas; bounded by buckets. *)
+  peak_tensor_bytes : int;  (** Peak off-heap tensor bytes (0 if untracked). *)
 }
 
 let shed t = t.shed_rejected + t.shed_expired
@@ -72,6 +73,7 @@ let rows t =
     ("cache hits", string_of_int t.cache_hits);
     ("cache misses", string_of_int t.cache_misses);
     ("compiled programs", string_of_int t.compiled_programs);
+    ("peak tensor bytes", string_of_int t.peak_tensor_bytes);
   ]
 
 let pp ppf t =
@@ -109,4 +111,5 @@ let to_json t =
       ("cache_hits", Num (float_of_int t.cache_hits));
       ("cache_misses", Num (float_of_int t.cache_misses));
       ("compiled_programs", Num (float_of_int t.compiled_programs));
+      ("peak_tensor_bytes", Num (float_of_int t.peak_tensor_bytes));
     ]

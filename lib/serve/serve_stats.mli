@@ -28,6 +28,9 @@ type t = {
   cache_hits : int;
   cache_misses : int;
   compiled_programs : int;
+  peak_tensor_bytes : int;
+      (** Peak off-heap tensor bytes over the run ({!S4o_obs.Memory.global});
+          zero unless memory tracking was enabled. *)
 }
 
 (** Total requests shed (admission + expiry). *)

@@ -452,6 +452,7 @@ let run ?(on_complete = fun (_ : Request.t) ~latency:(_ : float) -> ())
       cache_hits = sum_over Replica.cache_hits;
       cache_misses = sum_over Replica.cache_misses;
       compiled_programs = sum_over Replica.compiled_programs;
+      peak_tensor_bytes = S4o_obs.Memory.peak_bytes S4o_obs.Memory.global;
     }
   in
   {

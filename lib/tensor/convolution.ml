@@ -72,7 +72,10 @@ let im2col ?domains g input =
   let { n; h; w; cin; kh; kw; oh; ow; sh; sw; ph; pw } = g in
   let rows = n * oh * ow in
   let cols = kh * kw * cin in
-  let patches = Dense.uninit [| rows; cols |] in
+  let patches =
+    S4o_obs.Memory.with_tag S4o_obs.Memory.global "im2col" (fun () ->
+        Dense.uninit [| rows; cols |])
+  in
   let id = Dense.unsafe_data input and pd = Dense.unsafe_data patches in
   let zero_span off len = if len > 0 then A.fill (A.sub pd off len) 0.0 in
   let fill lo hi =

@@ -6,7 +6,25 @@ type t = { shape : Shape.t; data : buffer }
 exception Shape_error = Shape.Shape_error
 
 let fail fmt = Format.kasprintf (fun s -> raise (Shape_error s)) fmt
-let alloc n : buffer = A.create Bigarray.float64 Bigarray.c_layout n
+
+(* Every tensor buffer in the library is allocated here, so this is the
+   single hook for off-heap memory accounting. When the global tracker is
+   off (the default) the cost is one load and branch; when on, the buffer
+   is charged to the current attribution tag and a GC finaliser credits
+   the free. The finaliser captures the tracker generation so a buffer
+   that dies after [Memory.reset] is dropped instead of corrupting the
+   next measurement's balance. *)
+let alloc n : buffer =
+  let data = A.create Bigarray.float64 Bigarray.c_layout n in
+  let mem = S4o_obs.Memory.global in
+  if S4o_obs.Memory.enabled mem then begin
+    let bytes = 8 * n in
+    let tag = S4o_obs.Memory.current_tag mem in
+    let gen = S4o_obs.Memory.generation mem in
+    S4o_obs.Memory.alloc mem ~tag bytes;
+    Gc.finalise (fun _ -> S4o_obs.Memory.free_gen mem ~gen ~tag bytes) data
+  end;
+  data
 
 (* {1 Creation} *)
 
@@ -100,6 +118,7 @@ let with_shape t new_shape =
   if Shape.numel new_shape <> numel t then
     fail "with_shape: %s has %d elements, tensor has %d"
       (Shape.to_string new_shape) (Shape.numel new_shape) (numel t);
+  S4o_obs.Memory.note_view S4o_obs.Memory.global;
   { shape = Array.copy new_shape; data = t.data }
 
 (* {1 Functional update} *)
@@ -814,7 +833,10 @@ let matmul ?domains a b =
   let m = a.shape.(0) and k = a.shape.(1) in
   let k' = b.shape.(0) and n = b.shape.(1) in
   if k <> k' then fail "matmul: inner dimensions %d and %d differ" k k';
-  let out = zeros [| m; n |] in
+  let out =
+    S4o_obs.Memory.with_tag S4o_obs.Memory.global "matmul" (fun () ->
+        zeros [| m; n |])
+  in
   let da = a.data and db = b.data and dc = out.data in
   if m * n * k <= serial_cutoff then matmul_rows ~n ~k da 0 db 0 dc 0 0 m
   else
@@ -902,7 +924,10 @@ let batch_matmul ?domains a b =
     fail "batch_matmul: %s x %s" (Shape.to_string a.shape)
       (Shape.to_string b.shape);
   let n = b.shape.(2) in
-  let out = zeros [| bs; m; n |] in
+  let out =
+    S4o_obs.Memory.with_tag S4o_obs.Memory.global "matmul" (fun () ->
+        zeros [| bs; m; n |])
+  in
   let da = a.data and db = b.data and dc = out.data in
   (* Rows of all batches form one global index space [0, bs*m): each
      worker walks its contiguous span batch by batch, so parallelism does

@@ -23,6 +23,12 @@ type state = {
   mutable pending : int;
   mutable stop : bool;
   mutable workers : unit Domain.t list;
+  (* instrumentation: slot 0 is the calling domain, slots 1.. are workers
+     in spawn order; all guarded by [mutex] *)
+  mutable jobs : int;
+  mutable chunks_run : int;
+  mutable run_wall : float;
+  busy_s : float array;
 }
 
 let st =
@@ -34,7 +40,46 @@ let st =
     pending = 0;
     stop = false;
     workers = [];
+    jobs = 0;
+    chunks_run = 0;
+    run_wall = 0.0;
+    busy_s = Array.make hard_max_domains 0.0;
   }
+
+type stats = {
+  jobs : int;
+  chunks : int;
+  run_wall_seconds : float;
+  domain_busy_seconds : float array;
+}
+
+let stats () =
+  Mutex.lock st.mutex;
+  let s =
+    {
+      jobs = st.jobs;
+      chunks = st.chunks_run;
+      run_wall_seconds = st.run_wall;
+      domain_busy_seconds = Array.copy st.busy_s;
+    }
+  in
+  Mutex.unlock st.mutex;
+  s
+
+let reset_stats () =
+  Mutex.lock st.mutex;
+  st.jobs <- 0;
+  st.chunks_run <- 0;
+  st.run_wall <- 0.0;
+  Array.fill st.busy_s 0 (Array.length st.busy_s) 0.0;
+  Mutex.unlock st.mutex
+
+let busy_fractions s =
+  if s.run_wall_seconds <= 0.0 then []
+  else
+    Array.to_list s.domain_busy_seconds
+    |> List.mapi (fun i b -> (i, b /. s.run_wall_seconds))
+    |> List.filter (fun (_, f) -> f > 0.0)
 
 let live_workers () =
   Mutex.lock st.mutex;
@@ -42,7 +87,7 @@ let live_workers () =
   Mutex.unlock st.mutex;
   n
 
-let rec worker_loop () =
+let rec worker_loop slot =
   Mutex.lock st.mutex;
   while Queue.is_empty st.tasks && not st.stop do
     Condition.wait st.work st.mutex
@@ -51,12 +96,17 @@ let rec worker_loop () =
   else begin
     let task = Queue.pop st.tasks in
     Mutex.unlock st.mutex;
+    let t0 = Unix.gettimeofday () in
     task ();
+    let dt = Unix.gettimeofday () -. t0 in
     Mutex.lock st.mutex;
+    if slot < Array.length st.busy_s then
+      st.busy_s.(slot) <- st.busy_s.(slot) +. dt;
+    st.chunks_run <- st.chunks_run + 1;
     st.pending <- st.pending - 1;
     if st.pending = 0 then Condition.broadcast st.finished;
     Mutex.unlock st.mutex;
-    worker_loop ()
+    worker_loop slot
   end
 
 (* Joining is not final: [stop] is reset afterwards so the next [run] can
@@ -87,8 +137,9 @@ let ensure_workers want =
       exit_hook_installed := true;
       at_exit shutdown
     end;
-    for _ = 1 to missing do
-      st.workers <- Domain.spawn worker_loop :: st.workers
+    for i = 1 to missing do
+      let slot = have + i in
+      st.workers <- Domain.spawn (fun () -> worker_loop slot) :: st.workers
     done
   end;
   Mutex.unlock st.mutex
@@ -121,6 +172,7 @@ let run ?domains ~n f =
             try f lo hi
             with e -> ignore (Atomic.compare_and_set first_exn None (Some e))
           in
+          let job_t0 = Unix.gettimeofday () in
           Mutex.lock st.mutex;
           st.pending <- st.pending + (d - 1);
           for i = 1 to d - 1 do
@@ -130,11 +182,19 @@ let run ?domains ~n f =
           Condition.broadcast st.work;
           Mutex.unlock st.mutex;
           (let lo, hi = chunk 0 in
-           guarded lo hi ());
+           let t0 = Unix.gettimeofday () in
+           guarded lo hi ();
+           let dt = Unix.gettimeofday () -. t0 in
+           Mutex.lock st.mutex;
+           st.busy_s.(0) <- st.busy_s.(0) +. dt;
+           st.chunks_run <- st.chunks_run + 1;
+           Mutex.unlock st.mutex);
           Mutex.lock st.mutex;
           while st.pending > 0 do
             Condition.wait st.finished st.mutex
           done;
+          st.jobs <- st.jobs + 1;
+          st.run_wall <- st.run_wall +. (Unix.gettimeofday () -. job_t0);
           Mutex.unlock st.mutex;
           match Atomic.get first_exn with Some e -> raise e | None -> ())
   end

@@ -36,6 +36,33 @@ val live_workers : unit -> int
     raised by any chunk is re-raised in the caller after all chunks finish. *)
 val run : ?domains:int -> n:int -> (int -> int -> unit) -> unit
 
+(** {1 Instrumentation}
+
+    The pool keeps cumulative per-domain busy clocks so a profile run can
+    report how evenly parallel kernels spread across domains. Only {e
+    parallel} runs are counted: a [run] that degrades to serial (width 1,
+    small [n], or nesting) touches none of these counters. *)
+
+type stats = {
+  jobs : int;  (** Parallel [run] calls completed. *)
+  chunks : int;  (** Chunks executed, across all domains. *)
+  run_wall_seconds : float;  (** Total wall time spent inside parallel runs. *)
+  domain_busy_seconds : float array;
+      (** Cumulative busy time per domain slot; slot [0] is the calling
+          domain, slots [1..] are workers in spawn order. Length
+          {!hard_max_domains}. *)
+}
+
+(** Snapshot the cumulative counters (consistent under the pool lock). *)
+val stats : unit -> stats
+
+val reset_stats : unit -> unit
+
+(** [busy_fractions s] is [(slot, busy / run-wall)] for every slot with
+    nonzero busy time — the per-domain busy fraction over the time the pool
+    actually had a job in flight. Empty if no parallel run completed. *)
+val busy_fractions : stats -> (int * float) list
+
 (** Join all idle workers. The pool respawns lazily on the next {!run}, so
     this only quiesces; it never breaks later callers. Tests and benchmarks
     call it after parallel phases because an idle domain still participates

@@ -217,23 +217,6 @@ let test_reset_stats () =
       Test_util.check_int "traces zeroed" 0 st.Stats.traces_cut;
       Test_util.check_close "compile time zeroed" 0.0 st.Stats.compile_seconds)
 
-(* the pre-redesign accessors are kept as deprecated aliases; pin their
-   existence (and agreement with the unified surface) without tripping the
-   alert *)
-let[@alert "-deprecated"] test_deprecated_aliases () =
-  with_eager (fun (module Bk) rt _ ->
-      let a, b = sample_inputs 5 in
-      ignore (expr (module Bk) a b);
-      Test_util.check_int "ops_dispatched alias agrees"
-        (S4o_eager.Runtime.stats rt).Stats.ops_dispatched
-        (S4o_eager.Runtime.ops_dispatched rt));
-  with_lazy (fun (module Bk) rt _ ->
-      let a, b = sample_inputs 5 in
-      ignore (expr (module Bk) a b);
-      Test_util.check_int "auto_cuts alias agrees"
-        (S4o_lazy.Lazy_runtime.stats rt).Stats.auto_cuts
-        (S4o_lazy.Lazy_runtime.auto_cuts rt))
-
 (* {1 Lazy cache instrumentation} *)
 
 let test_lazy_cache_hit_counter_vs_ablation () =
@@ -386,7 +369,6 @@ let suite =
       [
         tc "one snapshot type for both runtimes" `Quick test_unified_stats_shape;
         tc "reset_stats zeroes everything" `Quick test_reset_stats;
-        tc "deprecated aliases still agree" `Quick test_deprecated_aliases;
         tc "cache-hit counters vs recompile ablation" `Quick
           test_lazy_cache_hit_counter_vs_ablation;
       ] );
