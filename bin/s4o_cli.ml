@@ -173,6 +173,173 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Print the LazyTensor trace of LeNet's forward pass (Figure 4)")
     Term.(const run_trace $ batch $ dot)
 
+(* ---------------------------------------------------------------- analyze *)
+
+let write_file path content =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content)
+
+let capture_model model_name batch =
+  let engine = S4o_device.Engine.create S4o_device.Device_spec.desktop_cpu in
+  let rt = S4o_lazy.Lazy_runtime.create engine in
+  let module Bk = S4o_lazy.Lazy_backend.Make (struct
+    let rt = rt
+  end) in
+  let module M = S4o_nn.Models.Make (Bk) in
+  let rng = S4o_tensor.Prng.create 1 in
+  let model, input_shape =
+    match model_name with
+    | "lenet" -> (M.lenet rng, [| batch; 28; 28; 1 |])
+    | "mlp" -> (M.mlp rng ~inputs:2 ~hidden:32 ~outputs:2, [| batch; 2 |])
+    | other -> Printf.ksprintf failwith "unknown model %s" other
+  in
+  let input = Bk.placeholder input_shape in
+  let ctx = M.L.D.new_ctx () in
+  let logits = M.L.apply model ctx (M.L.D.const input) in
+  Bk.capture [ M.L.D.value logits ]
+
+(* The MSIL side of [analyze]: verify a small example module before and
+   after the optimization passes, and the generated derivative code. *)
+let analyze_sil () =
+  let open S4o_sil in
+  let b = Builder.create ~name:"mul_sin" ~n_args:2 in
+  let m = Builder.binary b Ir.Mul (Builder.param b 0) (Builder.param b 1) in
+  Builder.ret b (Builder.unary b Ir.Sin m);
+  let f = Builder.finish b in
+  let modul = Interp.create_module () in
+  Interp.add modul f;
+  let simplified = Passes.simplify f in
+  (* Generated derivatives recompute primals the tangent may not need;
+     verify them the way they ship — after dead-code elimination. *)
+  let jvp = Passes.dead_code_elim (Codegen.generate_jvp modul f) in
+  List.concat_map
+    (fun (stage, fn) ->
+      List.map
+        (fun v -> (stage, v))
+        (S4o_analysis.Verify.func fn))
+    [ ("source", f); ("simplify", simplified); ("codegen+dce", jvp) ]
+
+let run_analyze model_name batch sweep pending_limit json_out dot_out
+    lints_as_errors =
+  let module HC = S4o_analysis.Hlo_check in
+  let graph = capture_model model_name batch in
+  let findings = HC.check_graph ?pending_limit graph in
+  let opt_graph, _ = S4o_xla.Opt.optimize graph in
+  let opt_findings = HC.check_graph ?pending_limit opt_graph in
+  let sweep_findings =
+    match sweep with
+    | [] -> []
+    | batches ->
+        let hz = HC.Hazard.create () in
+        List.concat_map
+          (fun b -> HC.Hazard.observe hz (capture_model model_name b))
+          batches
+  in
+  let sil_violations = analyze_sil () in
+  let report name g fs =
+    Printf.printf "%s: %d nodes, %d params, %d errors, %d warnings\n" name
+      (S4o_xla.Hlo.size g)
+      (List.length (S4o_xla.Hlo.params g))
+      (List.length (HC.errors fs))
+      (List.length (HC.warnings fs));
+    List.iter (fun f -> Format.printf "  %a@." HC.pp_finding f) fs
+  in
+  report (model_name ^ " forward") graph findings;
+  report (model_name ^ " optimized") opt_graph opt_findings;
+  List.iter (fun f -> Format.printf "  %a@." HC.pp_finding f) sweep_findings;
+  Printf.printf "msil example module: %d violations\n"
+    (List.length sil_violations);
+  List.iter
+    (fun (stage, v) ->
+      Format.printf "  %s: %a@." stage S4o_analysis.Verify.pp_violation v)
+    sil_violations;
+  (match dot_out with
+  | None -> ()
+  | Some path ->
+      write_file path (S4o_xla.Hlo.to_dot ~name:(model_name ^ "_forward") graph);
+      Printf.printf "DOT written to %s\n" path);
+  (match json_out with
+  | None -> ()
+  | Some path ->
+      let json =
+        S4o_obs.Json.Obj
+          [
+            ( "graphs",
+              S4o_obs.Json.Arr
+                [
+                  HC.report_to_json ~graph_name:(model_name ^ " forward") graph
+                    (findings @ sweep_findings);
+                  HC.report_to_json
+                    ~graph_name:(model_name ^ " optimized")
+                    opt_graph opt_findings;
+                ] );
+            ( "msil_violations",
+              S4o_obs.Json.Num (float_of_int (List.length sil_violations)) );
+          ]
+      in
+      write_file path (S4o_obs.Json.to_string json);
+      Printf.printf "JSON report written to %s\n" path);
+  let all = findings @ opt_findings @ sweep_findings in
+  let sil_errors =
+    List.filter
+      (fun (_, v) -> v.S4o_analysis.Verify.severity = S4o_analysis.Verify.Error)
+      sil_violations
+  in
+  let fatal =
+    HC.errors all <> [] || sil_errors <> []
+    || (lints_as_errors && (HC.warnings all <> [] || sil_violations <> []))
+  in
+  if fatal then exit 1
+
+let analyze_cmd =
+  let model =
+    Arg.(value & opt string "lenet" & info [ "model" ] ~doc:"lenet|mlp")
+  in
+  let batch = Arg.(value & opt int 1 & info [ "batch" ]) in
+  let sweep =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "shape-sweep" ]
+          ~doc:
+            "Capture the model at each listed batch size and report \
+             recompile hazards (many fingerprints, one op skeleton)")
+  in
+  let pending_limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pending-limit" ]
+          ~doc:"Warn when a single cut exceeds this many nodes")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~doc:"Write the analysis report as JSON")
+  in
+  let dot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~doc:"Write the analyzed forward graph as GraphViz")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "lints-as-errors" ] ~doc:"Exit non-zero on any lint")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Static analysis: HLO shape/arity checks and lints on a captured \
+          model graph, plus MSIL verification of an example module")
+    Term.(
+      const run_analyze $ model $ batch $ sweep $ pending_limit $ json $ dot
+      $ strict)
+
 (* ----------------------------------------------------------------- spline *)
 
 let run_spline knots data_points shift =
@@ -202,12 +369,6 @@ let spline_cmd =
     Term.(const run_spline $ knots $ data $ shift)
 
 (* ---------------------------------------------------------------- profile *)
-
-let write_file path content =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc content)
 
 let export_trace ~process path recorder =
   match S4o_obs.Chrome_trace.to_file ~process path recorder with
@@ -546,4 +707,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "s4o" ~doc)
-          [ train_cmd; trace_cmd; spline_cmd; profile_cmd; serve_cmd ]))
+          [ train_cmd; trace_cmd; analyze_cmd; spline_cmd; profile_cmd; serve_cmd ]))

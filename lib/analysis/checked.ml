@@ -1,0 +1,91 @@
+(** Checked mode: one switch that installs the static analyzers into every
+    hook the runtimes expose, so the whole stack self-verifies as it runs:
+
+    - {!S4o_sil.Passes.post_pass_hook}, {!S4o_sil.Transform.post_synthesis_hook},
+      {!S4o_sil.Codegen.post_codegen_hook} → {!Verify.run} (errors raise
+      {!Verify.Verify_error}; lints are counted, never fatal).
+    - {!S4o_xla.Opt.post_pass_hook}, {!S4o_lazy.Trace.post_cut_hook} →
+      {!Hlo_check.run} plus lint counting and recompile-hazard tracking.
+    - Optionally arms the {!S4o_tensor.Sanitizer} write-race sanitizer.
+
+    The test suite enables checked mode globally, which is the acceptance
+    bar: every AD-transformed function and every cut HLO graph verifies
+    with zero violations, at the point of production. Results feed an
+    optional {!S4o_obs.Metrics} registry ([analysis.*] counters). *)
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+
+type stats = {
+  sil_verified : int;  (** Functions through the IR verifier. *)
+  hlo_checked : int;  (** Graphs through the HLO checker. *)
+  sil_warnings : int;
+  hlo_warnings : int;
+  hazards : int;
+}
+
+let zero =
+  { sil_verified = 0; hlo_checked = 0; sil_warnings = 0; hlo_warnings = 0; hazards = 0 }
+
+let state = ref zero
+let stats () = !state
+let reset_stats () = state := zero
+
+let metrics : S4o_obs.Metrics.t option ref = ref None
+let attach_metrics m = metrics := Some m
+let detach_metrics () = metrics := None
+
+let count name by =
+  match !metrics with
+  | None -> ()
+  | Some m -> S4o_obs.Metrics.incr ~by (S4o_obs.Metrics.counter m name)
+
+let hazard = Hlo_check.Hazard.create ()
+
+let verify_sil stage f =
+  Verify.run ~stage f;
+  let warn = List.length (Verify.warnings (Verify.func f)) in
+  state :=
+    {
+      !state with
+      sil_verified = !state.sil_verified + 1;
+      sil_warnings = !state.sil_warnings + warn;
+    };
+  count "analysis.sil_verified" 1;
+  if warn > 0 then count "analysis.sil_warnings" warn
+
+let check_hlo ?(track_hazards = false) stage g =
+  Hlo_check.run ~stage g;
+  let warn = List.length (Hlo_check.warnings (Hlo_check.check_graph g)) in
+  let hz =
+    if track_hazards then List.length (Hlo_check.Hazard.observe hazard g)
+    else 0
+  in
+  state :=
+    {
+      !state with
+      hlo_checked = !state.hlo_checked + 1;
+      hlo_warnings = !state.hlo_warnings + warn;
+      hazards = !state.hazards + hz;
+    };
+  count "analysis.hlo_checked" 1;
+  if warn > 0 then count "analysis.hlo_warnings" warn;
+  if hz > 0 then count "analysis.recompile_hazards" hz
+
+let enable ?(sanitize = false) () =
+  enabled_flag := true;
+  if sanitize then S4o_tensor.Sanitizer.set_armed true;
+  S4o_sil.Passes.post_pass_hook := (fun stage f -> verify_sil ("pass:" ^ stage) f);
+  S4o_sil.Transform.post_synthesis_hook := (fun f -> verify_sil "transform" f);
+  S4o_sil.Codegen.post_codegen_hook := (fun f -> verify_sil "codegen" f);
+  S4o_xla.Opt.post_pass_hook := (fun stage g -> check_hlo ("opt:" ^ stage) g);
+  S4o_lazy.Trace.post_cut_hook :=
+    (fun g -> check_hlo ~track_hazards:true "trace-cut" g)
+
+let disable () =
+  enabled_flag := false;
+  S4o_sil.Passes.post_pass_hook := (fun _ _ -> ());
+  S4o_sil.Transform.post_synthesis_hook := (fun _ -> ());
+  S4o_sil.Codegen.post_codegen_hook := (fun _ -> ());
+  S4o_xla.Opt.post_pass_hook := (fun _ _ -> ());
+  S4o_lazy.Trace.post_cut_hook := (fun _ -> ())

@@ -1,0 +1,31 @@
+(** Checked mode: installs the IR verifier and HLO checker into the hooks
+    every runtime layer exposes ({!S4o_sil.Passes}, {!S4o_sil.Transform},
+    {!S4o_sil.Codegen}, {!S4o_xla.Opt}, {!S4o_lazy.Trace}), so every
+    optimized function, synthesized derivative, and cut graph is verified
+    at the point of production. Errors raise ({!Verify.Verify_error} /
+    {!Hlo_check.Check_error}); lints are counted, never fatal. *)
+
+(** [enable ()] installs all hooks. [~sanitize:true] also arms the
+    {!S4o_tensor.Sanitizer} write-race sanitizer. *)
+val enable : ?sanitize:bool -> unit -> unit
+
+(** Restore every hook to a no-op (sanitizer arming is left as-is). *)
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+type stats = {
+  sil_verified : int;
+  hlo_checked : int;
+  sil_warnings : int;
+  hlo_warnings : int;
+  hazards : int;
+}
+
+val stats : unit -> stats
+val reset_stats : unit -> unit
+
+(** Mirror counts into [analysis.*] counters of a metrics registry. *)
+val attach_metrics : S4o_obs.Metrics.t -> unit
+
+val detach_metrics : unit -> unit

@@ -1,0 +1,6 @@
+(** Re-export of the pool write-race sanitizer, so the analysis library
+    presents all three static/dynamic checkers ({!Verify}, {!Hlo_check},
+    and this) under one roof. The implementation lives in [S4o_tensor]
+    because the kernels it instruments do. *)
+
+include S4o_tensor.Sanitizer

@@ -1,0 +1,147 @@
+(** The MSIL IR verifier.
+
+    {!S4o_sil.Ir.validate} raises on the first structural problem; the
+    verifier instead collects {e every} violation, classifies each as an
+    error (the function is malformed — interpreting it would be undefined)
+    or a warning (well-formed but suspicious — a missed-optimization or
+    density lint), and powers checked mode: after every optimization pass
+    and every AD code generation, {!run} re-verifies the output so a
+    renumbering bug in a pass surfaces at the pass, not as a wrong number
+    three layers later.
+
+    Errors: def-before-use, operand/terminator ranges, branch-argument
+    arity, entry arity. Warnings (dataflow-powered): unreachable blocks,
+    dead instruction results (value-numbering density — DCE output must
+    have none), single-definition block parameters, constant branch
+    conditions. *)
+
+open S4o_sil
+
+type severity = Error | Warning
+
+type violation = {
+  severity : severity;
+  func : string;
+  block : int;
+  site : string;  (** e.g. ["inst 3"], ["term"], ["param 1"]. *)
+  message : string;
+}
+
+exception Verify_error of string
+
+let errors vs = List.filter (fun v -> v.severity = Error) vs
+let warnings vs = List.filter (fun v -> v.severity = Warning) vs
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s] @%s bb%d %s: %s"
+    (match v.severity with Error -> "error" | Warning -> "warn")
+    v.func v.block v.site v.message
+
+let structural (f : Ir.func) =
+  let out = ref [] in
+  let add severity block site fmt =
+    Format.kasprintf
+      (fun message ->
+        out := { severity; func = f.Ir.name; block; site; message } :: !out)
+      fmt
+  in
+  let nblocks = Array.length f.Ir.blocks in
+  if nblocks = 0 then add Error 0 "func" "no blocks"
+  else begin
+    if f.Ir.blocks.(0).Ir.params <> f.Ir.n_args then
+      add Error 0 "entry"
+        "entry block has %d params for %d args" f.Ir.blocks.(0).Ir.params
+        f.Ir.n_args;
+    Array.iteri
+      (fun bi b ->
+        Array.iteri
+          (fun ii inst ->
+            let defined = b.Ir.params + ii in
+            List.iter
+              (fun v ->
+                if v < 0 then
+                  add Error bi (Printf.sprintf "inst %d" ii)
+                    "negative operand v%d" v
+                else if v >= defined then
+                  add Error bi (Printf.sprintf "inst %d" ii)
+                    "operand v%d used before definition (only v0..v%d defined)"
+                    v (defined - 1))
+              (Ir.inst_operands inst))
+          b.Ir.insts;
+        let total = Ir.block_values b in
+        let check_value site v =
+          if v < 0 || v >= total then
+            add Error bi site "value v%d out of range (block defines %d)" v
+              total
+        in
+        let check_target args target =
+          if target < 0 || target >= nblocks then
+            add Error bi "term" "branch to missing bb%d" target
+          else begin
+            let want = f.Ir.blocks.(target).Ir.params in
+            if Array.length args <> want then
+              add Error bi "term"
+                "%d branch args for bb%d which takes %d params"
+                (Array.length args) target want;
+            Array.iter (check_value "term") args
+          end
+        in
+        match b.Ir.term with
+        | Ir.Ret v -> check_value "term" v
+        | Ir.Br (t, args) -> check_target args t
+        | Ir.Cond_br (c, bt, at, bf, af) ->
+            check_value "term" c;
+            check_target at bt;
+            check_target af bf)
+      f.Ir.blocks
+  end;
+  List.rev !out
+
+let lints (f : Ir.func) =
+  let out = ref [] in
+  let add block site fmt =
+    Format.kasprintf
+      (fun message ->
+        out :=
+          { severity = Warning; func = f.Ir.name; block; site; message }
+          :: !out)
+      fmt
+  in
+  let reach = Dataflow.reachable f in
+  Array.iteri
+    (fun bi r -> if not r then add bi "block" "unreachable from entry")
+    reach;
+  List.iter
+    (fun (bi, ii) ->
+      if reach.(bi) then
+        add bi (Printf.sprintf "inst %d" ii)
+          "dead result v%d (value-numbering density: run dead_code_elim)"
+          (f.Ir.blocks.(bi).Ir.params + ii))
+    (Dataflow.Liveness.dead_insts f);
+  List.iter
+    (fun (bi, p) ->
+      add bi (Printf.sprintf "param %d" p)
+        "single reaching definition: sinkable past the branch")
+    (Dataflow.Reaching.redundant_params f);
+  List.iter
+    (fun (bi, c) ->
+      add bi "term" "branch condition is always %g" c)
+    (Dataflow.Const_prop.constant_branches f);
+  List.rev !out
+
+let func ?(lint = true) (f : Ir.func) =
+  let errs = structural f in
+  (* Dataflow over malformed IR would index out of range — lint only when
+     structurally clean. *)
+  if lint && errors errs = [] then errs @ lints f else errs
+
+let run ~stage (f : Ir.func) =
+  match errors (func ~lint:false f) with
+  | [] -> ()
+  | errs ->
+      raise
+        (Verify_error
+           (Format.asprintf "@[<v>IR verification failed after %s:@,%a@]"
+              stage
+              (Format.pp_print_list pp_violation)
+              errs))

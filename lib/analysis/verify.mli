@@ -1,0 +1,33 @@
+(** MSIL IR verifier: collects every structural error and (optionally)
+    dataflow-powered lints, instead of failing on the first problem the way
+    {!S4o_sil.Ir.validate} does. Checked mode runs {!run} after every
+    optimization pass, AD synthesis, and derivative code generation. *)
+
+open S4o_sil
+
+type severity = Error | Warning
+
+type violation = {
+  severity : severity;
+  func : string;
+  block : int;
+  site : string;
+  message : string;
+}
+
+exception Verify_error of string
+
+val errors : violation list -> violation list
+val warnings : violation list -> violation list
+val pp_violation : Format.formatter -> violation -> unit
+
+(** [func f] verifies [f]. Errors: def-before-use, operand and terminator
+    ranges, branch-argument arity, entry arity. When [lint] (default) and
+    the function is structurally clean, adds warnings: unreachable blocks,
+    dead instruction results, single-definition block parameters, constant
+    branch conditions. *)
+val func : ?lint:bool -> Ir.func -> violation list
+
+(** [run ~stage f] raises {!Verify_error} naming [stage] and every error if
+    [f] is malformed; lints are not computed. The checked-mode hook body. *)
+val run : stage:string -> Ir.func -> unit

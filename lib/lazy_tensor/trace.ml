@@ -74,6 +74,10 @@ let pending_region roots =
 (** Convert the pending region rooted at [roots] to an HLO graph. Returns the
     graph, the leaf nodes in parameter order, and the mapping from pending
     trace nodes to HLO nodes. *)
+(* Checked mode installs the HLO checker here; called with every graph a
+   trace cut produces. *)
+let post_cut_hook : (S4o_xla.Hlo.graph -> unit) ref = ref (fun _ -> ())
+
 let to_hlo roots =
   let pending, leaves = pending_region roots in
   let hlo_of : (int, S4o_xla.Hlo.node) Hashtbl.t = Hashtbl.create 64 in
@@ -95,4 +99,6 @@ let to_hlo roots =
       (fun r -> if is_pending r then Some (Hashtbl.find hlo_of r.id) else None)
       roots
   in
-  (S4o_xla.Hlo.graph_of_outputs outputs, leaves, pending)
+  let g = S4o_xla.Hlo.graph_of_outputs outputs in
+  !post_cut_hook g;
+  (g, leaves, pending)

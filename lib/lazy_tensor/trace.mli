@@ -43,6 +43,11 @@ val is_pending : node -> bool
     discovery order). *)
 val pending_region : node list -> node list * node list
 
+(** Called with every graph {!to_hlo} produces. Checked mode
+    ([S4o_analysis.Checked.enable]) installs the HLO checker here; the
+    default is a no-op. *)
+val post_cut_hook : (S4o_xla.Hlo.graph -> unit) ref
+
 (** Convert the pending region to an HLO graph. Returns the graph, the
     leaves in parameter order, and the pending nodes in topological order. *)
 val to_hlo : node list -> S4o_xla.Hlo.graph * node list * node list

@@ -1,3 +1,8 @@
+(* Checked mode (S4o_analysis.Checked) installs a verifier here; the
+   indirection avoids a dependency cycle between the analysis library and
+   the IR it verifies. Called with the pass name and its output. *)
+let post_pass_hook : (string -> Ir.func -> unit) ref = ref (fun _ _ -> ())
+
 let constant_fold (f : Ir.func) =
   let blocks =
     Array.map
@@ -39,7 +44,9 @@ let constant_fold (f : Ir.func) =
         { b with Ir.insts })
       f.blocks
   in
-  { f with Ir.blocks = blocks }
+  let f' = { f with Ir.blocks = blocks } in
+  !post_pass_hook "constant_fold" f';
+  f'
 
 let dead_code_elim (f : Ir.func) =
   let blocks =
@@ -112,6 +119,7 @@ let dead_code_elim (f : Ir.func) =
   in
   let f' = { f with Ir.blocks = blocks } in
   Ir.validate f';
+  !post_pass_hook "dead_code_elim" f';
   f'
 
 let inst_count (f : Ir.func) =
@@ -122,4 +130,6 @@ let simplify f =
     let f' = dead_code_elim (constant_fold f) in
     if budget = 0 || inst_count f' = inst_count f then f' else go f' (budget - 1)
   in
-  go f 8
+  let f' = go f 8 in
+  !post_pass_hook "simplify" f';
+  f'

@@ -6,6 +6,11 @@
     All passes are purely functional: they return a new function. MSIL calls
     are pure, so unused calls are dead code. *)
 
+(** Called with the pass name and its output function after every pass.
+    Checked mode ([S4o_analysis.Checked.enable]) installs the IR verifier
+    here; the default is a no-op. *)
+val post_pass_hook : (string -> Ir.func -> unit) ref
+
 (** Fold instructions whose operands are all constants (including selects
     with a constant condition). Comparisons fold too. Calls never fold. *)
 val constant_fold : Ir.func -> Ir.func

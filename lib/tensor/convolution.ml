@@ -79,6 +79,9 @@ let im2col ?domains g input =
   let id = Dense.unsafe_data input and pd = Dense.unsafe_data patches in
   let zero_span off len = if len > 0 then A.fill (A.sub pd off len) 0.0 in
   let fill lo hi =
+    Sanitizer.note_write pd ~lo:(lo * cols) ~len:((hi - lo) * cols)
+      ~who:"im2col patch rows";
+    Sanitizer.note_read id ~lo:0 ~len:(A.dim id) ~who:"im2col input";
     for r = lo to hi - 1 do
       let ox = r mod ow in
       let rest = r / ow in
@@ -178,6 +181,10 @@ let conv2d_backward_input ?domains ?(stride = (1, 1)) ~padding ~input_shape
   let dinput = Dense.zeros input_shape in
   let dd = Dense.unsafe_data dinput and pd = Dense.unsafe_data dpatches in
   let scatter blo bhi =
+    Sanitizer.note_write dd ~lo:(blo * h * w * cin)
+      ~len:((bhi - blo) * h * w * cin) ~who:"col2im input batches";
+    Sanitizer.note_read pd ~lo:(blo * oh * ow * cols)
+      ~len:((bhi - blo) * oh * ow * cols) ~who:"col2im dpatches";
     for b = blo to bhi - 1 do
       for oy = 0 to oh - 1 do
         for ox = 0 to ow - 1 do
@@ -221,6 +228,10 @@ let avg_pool2d ~size ~stride input =
   let id = Dense.unsafe_data input and od = Dense.unsafe_data out in
   let inv = 1.0 /. float_of_int (kh * kw) in
   let body blo bhi =
+    Sanitizer.note_write od ~lo:(blo * oh * ow * c)
+      ~len:((bhi - blo) * oh * ow * c) ~who:"avg_pool2d out batches";
+    Sanitizer.note_read id ~lo:(blo * h * w * c) ~len:((bhi - blo) * h * w * c)
+      ~who:"avg_pool2d input";
     for b = blo to bhi - 1 do
       for oy = 0 to oh - 1 do
         for ox = 0 to ow - 1 do
@@ -251,6 +262,10 @@ let avg_pool2d_backward ~size ~stride ~input_shape grad =
   let dd = Dense.unsafe_data dinput and gd = Dense.unsafe_data grad in
   let inv = 1.0 /. float_of_int (kh * kw) in
   let body blo bhi =
+    Sanitizer.note_write dd ~lo:(blo * h * w * c) ~len:((bhi - blo) * h * w * c)
+      ~who:"avg_pool2d_backward input batches";
+    Sanitizer.note_read gd ~lo:(blo * oh * ow * c)
+      ~len:((bhi - blo) * oh * ow * c) ~who:"avg_pool2d_backward grad";
     for b = blo to bhi - 1 do
       for oy = 0 to oh - 1 do
         for ox = 0 to ow - 1 do
@@ -283,6 +298,10 @@ let max_pool2d ~size ~stride input =
   let out = Dense.zeros oshape in
   let id = Dense.unsafe_data input and od = Dense.unsafe_data out in
   let body blo bhi =
+    Sanitizer.note_write od ~lo:(blo * oh * ow * c)
+      ~len:((bhi - blo) * oh * ow * c) ~who:"max_pool2d out batches";
+    Sanitizer.note_read id ~lo:(blo * h * w * c) ~len:((bhi - blo) * h * w * c)
+      ~who:"max_pool2d input";
     for b = blo to bhi - 1 do
       for oy = 0 to oh - 1 do
         for ox = 0 to ow - 1 do
@@ -317,6 +336,12 @@ let max_pool2d_backward ~size ~stride input grad =
   and id = Dense.unsafe_data input
   and gd = Dense.unsafe_data grad in
   let body blo bhi =
+    Sanitizer.note_write dd ~lo:(blo * h * w * c) ~len:((bhi - blo) * h * w * c)
+      ~who:"max_pool2d_backward input batches";
+    Sanitizer.note_read id ~lo:(blo * h * w * c) ~len:((bhi - blo) * h * w * c)
+      ~who:"max_pool2d_backward input";
+    Sanitizer.note_read gd ~lo:(blo * oh * ow * c)
+      ~len:((bhi - blo) * oh * ow * c) ~who:"max_pool2d_backward grad";
     for b = blo to bhi - 1 do
       for oy = 0 to oh - 1 do
         for ox = 0 to ow - 1 do

@@ -840,7 +840,13 @@ let matmul ?domains a b =
   let da = a.data and db = b.data and dc = out.data in
   if m * n * k <= serial_cutoff then matmul_rows ~n ~k da 0 db 0 dc 0 0 m
   else
-    Pool.run ?domains ~n:m (fun lo hi -> matmul_rows ~n ~k da 0 db 0 dc 0 lo hi);
+    Pool.run ?domains ~n:m (fun lo hi ->
+        Sanitizer.note_write dc ~lo:(lo * n) ~len:((hi - lo) * n)
+          ~who:"matmul out rows";
+        Sanitizer.note_read da ~lo:(lo * k) ~len:((hi - lo) * k)
+          ~who:"matmul A rows";
+        Sanitizer.note_read db ~lo:0 ~len:(k * n) ~who:"matmul B";
+        matmul_rows ~n ~k da 0 db 0 dc 0 lo hi);
   out
 
 let dot a b =
@@ -933,6 +939,11 @@ let batch_matmul ?domains a b =
      worker walks its contiguous span batch by batch, so parallelism does
      not depend on bs and m individually. *)
   let rows lo hi =
+    Sanitizer.note_write dc ~lo:(lo * n) ~len:((hi - lo) * n)
+      ~who:"batch_matmul out rows";
+    Sanitizer.note_read da ~lo:(lo * k) ~len:((hi - lo) * k)
+      ~who:"batch_matmul A rows";
+    Sanitizer.note_read db ~lo:0 ~len:(bs * k * n) ~who:"batch_matmul B";
     let r = ref lo in
     while !r < hi do
       let batch = !r / m in

@@ -159,9 +159,12 @@ let run ?domains ~n f =
     if d = 1 || not (Atomic.compare_and_set busy false true) then f 0 n
     else
       Fun.protect
-        ~finally:(fun () -> Atomic.set busy false)
+        ~finally:(fun () ->
+          Sanitizer.job_end ();
+          Atomic.set busy false)
         (fun () ->
           ensure_workers (d - 1);
+          Sanitizer.job_begin ();
           let first_exn = Atomic.make None in
           let chunk i =
             let base = n / d and rem = n mod d in

@@ -1,0 +1,149 @@
+(** Write-race sanitizer for the domain pool.
+
+    The parallel kernels in {!Dense} and {!Convolution} rely on a
+    partitioning argument: each chunk handed to {!Pool.run} writes a
+    disjoint slice of the output buffer. Nothing checks that argument —
+    an off-by-one in a row partition produces silently corrupt tensors
+    (and only on machines with enough cores to split the loop).
+
+    When armed, kernels register the flat Bigarray index ranges each domain
+    writes (and the ranges it reads). Two overlapping writes from distinct
+    domains, or a write overlapping another domain's recorded read, raise
+    {!Race} naming both registration sites. Registration is coarse — one
+    interval per chunk — so the armed overhead is a few mutex-guarded list
+    operations per {!Pool.run} chunk, not per element.
+
+    Arming: set the [S4O_SANITIZE] environment variable to [1] (read once
+    at startup), or call {!set_armed}. Recording is scoped to a pool job:
+    {!Pool.run} brackets the parallel section with {!job_begin}/{!job_end},
+    and registrations outside a job are dropped, so serial kernels pay one
+    atomic load only. *)
+
+type buffer = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+exception Race of string
+
+type interval = { lo : int; len : int; domain : int; who : string }
+
+type access = { buf : buffer; mutable writes : interval list; mutable reads : interval list }
+
+let armed_flag =
+  Atomic.make
+    (match Sys.getenv_opt "S4O_SANITIZE" with
+    | Some ("1" | "true" | "on") -> true
+    | Some _ | None -> false)
+
+let armed () = Atomic.get armed_flag
+let set_armed b = Atomic.set armed_flag b
+
+let job_active = Atomic.make false
+
+(* All state below is guarded by [mutex]. The per-job buffer list is short
+   (a kernel touches a handful of buffers), so linear scans with physical
+   equality on the Bigarray value are fine. *)
+let mutex = Mutex.create ()
+let logs : access list ref = ref []
+let intervals_recorded = ref 0
+let races_detected = ref 0
+let jobs_checked = ref 0
+
+type stats = { jobs : int; intervals : int; races : int }
+
+let stats () =
+  Mutex.lock mutex;
+  let s =
+    { jobs = !jobs_checked; intervals = !intervals_recorded; races = !races_detected }
+  in
+  Mutex.unlock mutex;
+  s
+
+let reset_stats () =
+  Mutex.lock mutex;
+  intervals_recorded := 0;
+  races_detected := 0;
+  jobs_checked := 0;
+  Mutex.unlock mutex
+
+let job_begin () =
+  if armed () then begin
+    Mutex.lock mutex;
+    logs := [];
+    incr jobs_checked;
+    Atomic.set job_active true;
+    Mutex.unlock mutex
+  end
+
+let job_end () =
+  if armed () || Atomic.get job_active then begin
+    Mutex.lock mutex;
+    Atomic.set job_active false;
+    logs := [];
+    Mutex.unlock mutex
+  end
+
+let overlaps a b = a.lo < b.lo + b.len && b.lo < a.lo + a.len
+
+let pp_interval i =
+  Printf.sprintf "%s: [%d, %d) on domain %d" i.who i.lo (i.lo + i.len) i.domain
+
+let conflict kind fresh prior =
+  incr races_detected;
+  Atomic.set job_active false;
+  Mutex.unlock mutex;
+  raise
+    (Race
+       (Printf.sprintf "%s race: %s overlaps %s" kind (pp_interval fresh)
+          (pp_interval prior)))
+
+let find_log buf =
+  match List.find_opt (fun a -> a.buf == buf) !logs with
+  | Some a -> a
+  | None ->
+      let a = { buf; writes = []; reads = [] } in
+      logs := a :: !logs;
+      a
+
+let foreign i = fun prior -> prior.domain <> i.domain && overlaps i prior
+
+(* [?domain] overrides the writer identity — used by the fuzz tests to
+   simulate multi-domain schedules deterministically from one domain. *)
+let note_write ?domain buf ~lo ~len ~who =
+  if len > 0 && armed () && Atomic.get job_active then begin
+    let domain =
+      match domain with Some d -> d | None -> (Domain.self () :> int)
+    in
+    let i = { lo; len; domain; who } in
+    Mutex.lock mutex;
+    if Atomic.get job_active then begin
+      let log = find_log buf in
+      incr intervals_recorded;
+      (match List.find_opt (foreign i) log.writes with
+      | Some prior -> conflict "write-write" i prior
+      | None -> ());
+      (match List.find_opt (foreign i) log.reads with
+      | Some prior -> conflict "write-read" i prior
+      | None -> ());
+      log.writes <- i :: log.writes;
+      Mutex.unlock mutex
+    end
+    else Mutex.unlock mutex
+  end
+
+let note_read ?domain buf ~lo ~len ~who =
+  if len > 0 && armed () && Atomic.get job_active then begin
+    let domain =
+      match domain with Some d -> d | None -> (Domain.self () :> int)
+    in
+    let i = { lo; len; domain; who } in
+    Mutex.lock mutex;
+    if Atomic.get job_active then begin
+      let log = find_log buf in
+      incr intervals_recorded;
+      (match List.find_opt (foreign i) log.writes with
+      | Some prior -> conflict "read-write" i prior
+      | None -> ());
+      log.reads <- i :: log.reads;
+      Mutex.unlock mutex
+    end
+    else Mutex.unlock mutex
+  end

@@ -1,0 +1,43 @@
+(** Write-race sanitizer for the domain pool.
+
+    Parallel kernels partition output rows across worker domains; the
+    partitioning is only correct if the written slices are disjoint. When
+    the sanitizer is armed, each chunk registers the flat index ranges it
+    writes and reads on each Bigarray buffer; an overlap between distinct
+    domains raises {!Race} naming both registration sites.
+
+    Arm with the [S4O_SANITIZE=1] environment variable (read at startup) or
+    {!set_armed}. Registration only records inside a {!Pool.run} job
+    ({!job_begin}/{!job_end} bracket it), so serial kernels pay one atomic
+    load. *)
+
+type buffer = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** Raised on an overlap between accesses from distinct domains. The
+    message names both registrations: label, range, domain. *)
+exception Race of string
+
+val armed : unit -> bool
+val set_armed : bool -> unit
+
+(** Job scoping — called by {!Pool.run} around the parallel section.
+    [job_begin] clears the interval log; registrations outside an active
+    job are dropped. *)
+val job_begin : unit -> unit
+
+val job_end : unit -> unit
+
+(** [note_write buf ~lo ~len ~who] registers that the calling domain writes
+    [buf.[lo, lo+len)]. [who] is a human-readable site label used in race
+    reports. [?domain] overrides the writer identity (deterministic fuzz
+    tests only). Raises {!Race} on overlap with another domain's write or
+    read. *)
+val note_write : ?domain:int -> buffer -> lo:int -> len:int -> who:string -> unit
+
+(** Same for reads: raises {!Race} on overlap with another domain's write. *)
+val note_read : ?domain:int -> buffer -> lo:int -> len:int -> who:string -> unit
+
+type stats = { jobs : int; intervals : int; races : int }
+
+val stats : unit -> stats
+val reset_stats : unit -> unit

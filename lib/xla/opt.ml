@@ -20,9 +20,18 @@ let map_graph (g : Hlo.graph) (rewrite : Hlo.node -> Hlo.node list -> Hlo.node) 
 let literal_value (n : Hlo.node) =
   match n.role with Literal v -> Some v | Compute | Param _ -> None
 
+(* Checked mode installs the HLO checker here; called with the pass name
+   and its output graph after every pass. *)
+let post_pass_hook : (string -> Hlo.graph -> unit) ref = ref (fun _ _ -> ())
+
+let checked name g =
+  !post_pass_hook name g;
+  g
+
 let cse g =
   let seen : (string, Hlo.node) Hashtbl.t = Hashtbl.create 64 in
-  map_graph g (fun n inputs ->
+  checked "cse"
+  @@ map_graph g (fun n inputs ->
       let key =
         Format.asprintf "%s|%s|%a|%s" n.op_name n.attrs Shape.pp n.shape
           (String.concat ","
@@ -55,7 +64,8 @@ let cse g =
         end)
 
 let constant_fold g =
-  map_graph g (fun n inputs ->
+  checked "constant_fold"
+  @@ map_graph g (fun n inputs ->
       match n.role with
       | Param _ | Literal _ -> n
       | Compute ->
@@ -64,7 +74,8 @@ let constant_fold g =
             Hlo.literal (n.kernel (Array.of_list (List.map Option.get values)))
           else n)
 
-let dead_code_elim g = Hlo.graph_of_outputs g.Hlo.outputs
+let dead_code_elim g =
+  checked "dead_code_elim" (Hlo.graph_of_outputs g.Hlo.outputs)
 
 type cluster = { members : Hlo.node list; info : S4o_device.Op_info.t }
 

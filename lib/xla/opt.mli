@@ -5,6 +5,12 @@
     All passes are graph → graph; nodes are immutable so rewrites substitute
     bottom-up. *)
 
+(** Called with the pass name and its output graph after every pass
+    ([cse]/[constant_fold]/[dead_code_elim], and hence after each pass
+    inside {!optimize}). Checked mode ([S4o_analysis.Checked.enable])
+    installs the HLO checker here; the default is a no-op. *)
+val post_pass_hook : (string -> Hlo.graph -> unit) ref
+
 (** Merge structurally identical nodes (same op, attributes, operands). *)
 val cse : Hlo.graph -> Hlo.graph
 

@@ -1,0 +1,842 @@
+(** Tests for the cross-layer static analysis: the dataflow engine and its
+    instances, the MSIL verifier, the HLO checker and lints, checked-mode
+    hook wiring, and the pool write-race sanitizer. *)
+
+open S4o_sil
+module B = Builder
+module V = S4o_analysis.Verify
+module D = S4o_analysis.Dataflow
+module HC = S4o_analysis.Hlo_check
+module Checked = S4o_analysis.Checked
+module San = S4o_tensor.Sanitizer
+module Hlo = S4o_xla.Hlo
+module C = S4o_ops.Catalog
+open S4o_tensor
+
+let node_of_op (op : C.op) inputs =
+  Hlo.op ~name:op.C.name ~attrs:op.C.attrs ~shape:op.C.out_shape ~info:op.C.info
+    ~inputs ~kernel:op.C.kernel ()
+
+(* f(x, y) = x*y + sin x, with one dead instruction (exp y). *)
+let build_with_dead () =
+  let b = B.create ~name:"with_dead" ~n_args:2 in
+  let x = B.param b 0 and y = B.param b 1 in
+  let xy = B.binary b Ir.Mul x y in
+  let _dead = B.unary b Ir.Exp y in
+  let sx = B.unary b Ir.Sin x in
+  B.ret b (B.binary b Ir.Add xy sx);
+  B.finish b
+
+(* Diamond: both branches forward the entry argument x to the join. *)
+let build_diamond_same_arg () =
+  let b = B.create ~name:"diamond" ~n_args:1 in
+  let x = B.param b 0 in
+  let zero = B.const b 0.0 in
+  let c = B.cmp b Ir.Gt x zero in
+  let bt = B.new_block b ~params:1 in
+  let bf = B.new_block b ~params:1 in
+  let join = B.new_block b ~params:1 in
+  B.cond_br b ~cond:c ~if_true:(bt, [| x |]) ~if_false:(bf, [| x |]);
+  B.switch b bt;
+  B.br b join [| B.binary b Ir.Mul (B.param b 0) (B.param b 0) |];
+  B.switch b bf;
+  B.br b join [| B.unary b Ir.Neg (B.param b 0) |];
+  B.switch b join;
+  B.ret b (B.param b 0);
+  B.finish b
+
+(* {1 Dataflow engine} *)
+
+let test_liveness_dead_inst () =
+  let f = build_with_dead () in
+  Alcotest.(check (list (pair int int)))
+    "exp y is dead"
+    [ (0, 1) ]
+    (D.Liveness.dead_insts f);
+  let f' = Passes.dead_code_elim f in
+  Alcotest.(check (list (pair int int))) "dce restores density" []
+    (D.Liveness.dead_insts f')
+
+let test_liveness_through_branches () =
+  let f = build_diamond_same_arg () in
+  let live = D.Liveness.analyze f in
+  (* entry x feeds both branch args, so it is live; join's param is the
+     return value. *)
+  Test_util.check_true "entry arg live" live.(0).(0);
+  Test_util.check_true "join param live" live.(3).(0)
+
+let test_reaching_redundant_params () =
+  let f = build_diamond_same_arg () in
+  (* bt and bf each receive x from the single entry branch: redundant.
+     join receives two different defs: not redundant. *)
+  let red = D.Reaching.redundant_params f in
+  Alcotest.(check (list (pair int int))) "bt/bf params" [ (1, 0); (2, 0) ] red
+
+let test_reaching_join_merges () =
+  let f = build_diamond_same_arg () in
+  let facts = D.Reaching.analyze f in
+  Test_util.check_int "join param reached by two defs" 2
+    (D.Reaching.S.cardinal facts.(3).(0))
+
+let test_const_prop_constant_branch () =
+  let b = B.create ~name:"const_branch" ~n_args:1 in
+  let one = B.const b 1.0 in
+  let two = B.const b 2.0 in
+  let c = B.cmp b Ir.Lt one two in
+  let bt = B.new_block b ~params:1 in
+  let bf = B.new_block b ~params:1 in
+  B.cond_br b ~cond:c ~if_true:(bt, [| one |]) ~if_false:(bf, [| two |]);
+  B.switch b bt;
+  B.ret b (B.param b 0);
+  B.switch b bf;
+  B.ret b (B.param b 0);
+  let f = B.finish b in
+  match D.Const_prop.constant_branches f with
+  | [ (0, v) ] -> Test_util.check_close "1 < 2" 1.0 v
+  | other ->
+      Alcotest.failf "expected one constant branch, got %d" (List.length other)
+
+let test_const_prop_through_join () =
+  (* Both branches pass the same constant: the join param is Const. *)
+  let b = B.create ~name:"joined_const" ~n_args:1 in
+  let x = B.param b 0 in
+  let five = B.const b 5.0 in
+  let zero = B.const b 0.0 in
+  let c = B.cmp b Ir.Gt x zero in
+  let bt = B.new_block b ~params:1 in
+  let bf = B.new_block b ~params:1 in
+  let join = B.new_block b ~params:1 in
+  B.cond_br b ~cond:c ~if_true:(bt, [| five |]) ~if_false:(bf, [| five |]);
+  B.switch b bt;
+  B.br b join [| B.param b 0 |];
+  B.switch b bf;
+  B.br b join [| B.param b 0 |];
+  B.switch b join;
+  B.ret b (B.param b 0);
+  let f = B.finish b in
+  let facts = D.Const_prop.analyze f in
+  (match facts.(3).(0) with
+  | D.Const_prop.Const v -> Test_util.check_close "join is 5" 5.0 v
+  | _ -> Alcotest.fail "join param should be constant")
+
+(* {1 IR verifier} *)
+
+let test_verifier_clean_on_good_ir () =
+  List.iter
+    (fun f ->
+      Alcotest.(check int)
+        ("no errors in " ^ f.Ir.name)
+        0
+        (List.length (V.errors (V.func f))))
+    [ build_with_dead (); build_diamond_same_arg () ]
+
+let test_verifier_use_before_def () =
+  (* Injected defect: an operand index past the defined frontier — the
+     signature of swapped/renumbered operands escaping a pass. *)
+  let f =
+    {
+      Ir.name = "bad_use";
+      n_args = 2;
+      blocks =
+        [|
+          {
+            Ir.params = 2;
+            insts = [| Ir.Binary (Ir.Add, 0, 3) |];
+            term = Ir.Ret 2;
+          };
+        |];
+    }
+  in
+  let errs = V.errors (V.func f) in
+  Test_util.check_true "use-before-def caught" (List.length errs >= 1);
+  Alcotest.check_raises "run raises"
+    (V.Verify_error "")
+    (fun () ->
+      try V.run ~stage:"test" f
+      with V.Verify_error _ -> raise (V.Verify_error ""))
+
+let test_verifier_branch_arity () =
+  let f =
+    {
+      Ir.name = "bad_arity";
+      n_args = 1;
+      blocks =
+        [|
+          { Ir.params = 1; insts = [||]; term = Ir.Br (1, [||]) };
+          { Ir.params = 1; insts = [||]; term = Ir.Ret 0 };
+        |];
+    }
+  in
+  let errs = V.errors (V.func f) in
+  Test_util.check_true "arity mismatch caught" (List.length errs = 1)
+
+let test_verifier_missing_target () =
+  let f =
+    {
+      Ir.name = "bad_target";
+      n_args = 1;
+      blocks = [| { Ir.params = 1; insts = [||]; term = Ir.Br (7, [||]) } |];
+    }
+  in
+  Test_util.check_true "missing block caught"
+    (V.errors (V.func f) <> [])
+
+let test_verifier_density_lint () =
+  let f = build_with_dead () in
+  let dead_warnings =
+    List.filter
+      (fun (v : V.violation) -> v.site = "inst 1")
+      (V.warnings (V.func f))
+  in
+  Test_util.check_int "dead result warned" 1 (List.length dead_warnings);
+  Test_util.check_int "dce output density-clean" 0
+    (List.length
+       (List.filter
+          (fun (v : V.violation) ->
+            (* only density warnings; redundant-param etc. not applicable *)
+            String.length v.message >= 4 && String.sub v.message 0 4 = "dead")
+          (V.warnings (V.func (Passes.dead_code_elim f)))))
+
+let test_verifier_unreachable_block () =
+  let f =
+    {
+      Ir.name = "unreachable";
+      n_args = 1;
+      blocks =
+        [|
+          { Ir.params = 1; insts = [||]; term = Ir.Ret 0 };
+          { Ir.params = 0; insts = [||]; term = Ir.Ret 0 };
+        |];
+    }
+  in
+  Test_util.check_true "errors on bb1 ret range or warn unreachable"
+    (V.func f
+    |> List.exists (fun (v : V.violation) -> v.block = 1))
+
+(* {1 Checked mode wiring} *)
+
+let test_checked_counts_sil () =
+  Checked.enable ();
+  Checked.reset_stats ();
+  let f = build_with_dead () in
+  ignore (Passes.simplify f);
+  let m = Interp.create_module () in
+  Interp.add m f;
+  ignore (Codegen.generate_jvp m f);
+  let s = Checked.stats () in
+  Test_util.check_true "passes and codegen verified"
+    (s.Checked.sil_verified >= 3)
+
+let test_checked_counts_transform () =
+  Checked.enable ();
+  Checked.reset_stats ();
+  let f = build_diamond_same_arg () in
+  let m = Interp.create_module () in
+  Interp.add m f;
+  let ctx = Transform.create_ctx m in
+  ignore (Transform.gradient ctx "diamond" [| 2.0 |]);
+  Test_util.check_true "synthesis verified"
+    ((Checked.stats ()).Checked.sil_verified >= 1)
+
+let test_checked_hook_catches_corrupt_ir () =
+  Checked.enable ();
+  let corrupt =
+    {
+      Ir.name = "corrupt";
+      n_args = 1;
+      blocks =
+        [| { Ir.params = 1; insts = [| Ir.Unary (Ir.Sin, 4) |]; term = Ir.Ret 1 } |];
+    }
+  in
+  Test_util.check_raises_any "pass hook raises" (fun () ->
+      !Passes.post_pass_hook "test" corrupt);
+  Test_util.check_raises_any "codegen hook raises" (fun () ->
+      !Codegen.post_codegen_hook corrupt)
+
+let test_checked_hook_catches_corrupt_hlo () =
+  Checked.enable ();
+  let p = Hlo.param ~index:0 ~shape:[| 4 |] in
+  let bad =
+    (* declares [8] but add of [4],[4] gives [4] *)
+    Hlo.op ~name:"add" ~shape:[| 8 |]
+      ~info:(S4o_device.Op_info.elementwise "add" ~inputs:[ [| 4 |] ] ~output:[| 8 |] ())
+      ~inputs:[ p; p ]
+      ~kernel:(fun args -> args.(0))
+      ()
+  in
+  let g = Hlo.graph_of_outputs [ bad ] in
+  Test_util.check_raises_any "cut hook raises" (fun () ->
+      !S4o_lazy.Trace.post_cut_hook g);
+  Test_util.check_raises_any "opt hook raises" (fun () ->
+      !S4o_xla.Opt.post_pass_hook "test" g)
+
+let test_checked_counts_hlo_passes () =
+  Checked.enable ();
+  Checked.reset_stats ();
+  let p0 = Hlo.param ~index:0 ~shape:[| 4 |] in
+  let r = node_of_op (C.relu [| 4 |]) [ p0 ] in
+  ignore (S4o_xla.Opt.optimize (Hlo.graph_of_outputs [ r ]));
+  Test_util.check_true "each pass checked"
+    ((Checked.stats ()).Checked.hlo_checked >= 3)
+
+let test_checked_metrics_attached () =
+  let reg = S4o_obs.Metrics.create () in
+  Checked.enable ();
+  Checked.attach_metrics reg;
+  ignore (Passes.simplify (build_with_dead ()));
+  Checked.detach_metrics ();
+  let c = S4o_obs.Metrics.counter reg "analysis.sil_verified" in
+  Test_util.check_true "metrics counted" (S4o_obs.Metrics.counter_value c >= 1)
+
+(* {1 HLO checker} *)
+
+let test_hlo_clean_catalog_graph () =
+  let p0 = Hlo.param ~index:0 ~shape:[| 2; 3 |] in
+  let p1 = Hlo.param ~index:1 ~shape:[| 3; 4 |] in
+  let mm = node_of_op (C.matmul [| 2; 3 |] [| 3; 4 |]) [ p0; p1 ] in
+  let r = node_of_op (C.relu [| 2; 4 |]) [ mm ] in
+  let s = node_of_op (C.sum_all [| 2; 4 |]) [ r ] in
+  let g = Hlo.graph_of_outputs [ s ] in
+  Alcotest.(check int) "no findings" 0 (List.length (HC.check_graph g))
+
+let test_hlo_shape_mismatch () =
+  let p0 = Hlo.param ~index:0 ~shape:[| 2; 3 |] in
+  let p1 = Hlo.param ~index:1 ~shape:[| 3; 4 |] in
+  let bad =
+    Hlo.op ~name:"matmul" ~shape:[| 4; 2 |]
+      ~info:(S4o_device.Op_info.matmul ~m:2 ~k:3 ~n:4)
+      ~inputs:[ p0; p1 ]
+      ~kernel:(fun args -> args.(0))
+      ()
+  in
+  let errs = HC.errors (HC.check_graph (Hlo.graph_of_outputs [ bad ])) in
+  Test_util.check_int "one shape error" 1 (List.length errs);
+  Test_util.check_string "rule" "shape" (List.hd errs).HC.rule
+
+let test_hlo_arity_error () =
+  let p0 = Hlo.param ~index:0 ~shape:[| 4 |] in
+  let bad =
+    Hlo.op ~name:"add" ~shape:[| 4 |]
+      ~info:(S4o_device.Op_info.elementwise "add" ~inputs:[ [| 4 |] ] ~output:[| 4 |] ())
+      ~inputs:[ p0 ]
+      ~kernel:(fun args -> args.(0))
+      ()
+  in
+  let errs = HC.errors (HC.check_graph (Hlo.graph_of_outputs [ bad ])) in
+  Test_util.check_int "one arity error" 1 (List.length errs);
+  Test_util.check_string "rule" "arity" (List.hd errs).HC.rule
+
+let test_hlo_unknown_op_warns () =
+  let p0 = Hlo.param ~index:0 ~shape:[| 4 |] in
+  let n =
+    Hlo.op ~name:"my_custom_op" ~shape:[| 4 |]
+      ~info:(S4o_device.Op_info.elementwise "my_custom_op" ~inputs:[ [| 4 |] ] ~output:[| 4 |] ())
+      ~inputs:[ p0 ]
+      ~kernel:(fun args -> args.(0))
+      ()
+  in
+  let fs = HC.check_graph (Hlo.graph_of_outputs [ n ]) in
+  Test_util.check_int "no errors" 0 (List.length (HC.errors fs));
+  Test_util.check_true "unknown-op warning"
+    (List.exists (fun (f : HC.finding) -> f.rule = "unknown-op") fs)
+
+let test_hlo_conv_backward_consistency () =
+  (* Consistent conv2d_backward_input: input 1x8x8x3, filter 3x3x3x8,
+     same padding, stride 1 -> grad 1x8x8x8. *)
+  let filter = Hlo.param ~index:0 ~shape:[| 3; 3; 3; 8 |] in
+  let grad = Hlo.param ~index:1 ~shape:[| 1; 8; 8; 8 |] in
+  let op =
+    C.conv2d_backward_input ~padding:Convolution.Same
+      ~input_shape:[| 1; 8; 8; 3 |] [| 3; 3; 3; 8 |] [| 1; 8; 8; 8 |]
+  in
+  let good = node_of_op op [ filter; grad ] in
+  Test_util.check_int "consistent backward clean" 0
+    (List.length (HC.errors (HC.check_graph (Hlo.graph_of_outputs [ good ]))));
+  (* Same node but declaring the wrong input shape. *)
+  let bad =
+    Hlo.op ~name:op.C.name ~attrs:op.C.attrs ~shape:[| 1; 9; 8; 3 |]
+      ~info:op.C.info ~inputs:[ filter; grad ] ~kernel:op.C.kernel ()
+  in
+  Test_util.check_true "inconsistent backward caught"
+    (HC.errors (HC.check_graph (Hlo.graph_of_outputs [ bad ])) <> [])
+
+let test_hlo_duplicate_literal_lint () =
+  let l1 = Hlo.literal (Dense.of_array [| 2 |] [| 1.0; 2.0 |]) in
+  let l2 = Hlo.literal (Dense.of_array [| 2 |] [| 1.0; 2.0 |]) in
+  let s = node_of_op (C.add [| 2 |] [| 2 |]) [ l1; l2 ] in
+  let fs = HC.check_graph (Hlo.graph_of_outputs [ s ]) in
+  Test_util.check_true "dup literal linted"
+    (List.exists (fun (f : HC.finding) -> f.rule = "dup-literal") fs);
+  (* cse merges them; the lint then goes quiet *)
+  let merged, _ = S4o_xla.Opt.optimize (Hlo.graph_of_outputs [ s ]) in
+  Test_util.check_true "clean after cse"
+    (not
+       (List.exists
+          (fun (f : HC.finding) -> f.rule = "dup-literal")
+          (HC.check_graph merged)))
+
+let test_hlo_dead_node_lint () =
+  let p0 = Hlo.param ~index:0 ~shape:[| 4 |] in
+  let live = node_of_op (C.relu [| 4 |]) [ p0 ] in
+  let dead = node_of_op (C.neg [| 4 |]) [ p0 ] in
+  let g = { Hlo.outputs = [ live ]; nodes = [ p0; live; dead ] } in
+  Test_util.check_true "dead node linted"
+    (List.exists (fun (f : HC.finding) -> f.rule = "dead-node") (HC.check_graph g))
+
+let test_hlo_param_density () =
+  (* Sparse numbering is survivable (optimizers drop unused params), so it
+     lints; a duplicate index is a hard error. *)
+  let p0 = Hlo.param ~index:0 ~shape:[| 4 |] in
+  let p2 = Hlo.param ~index:2 ~shape:[| 4 |] in
+  let s = node_of_op (C.add [| 4 |] [| 4 |]) [ p0; p2 ] in
+  let fs = HC.check_graph (Hlo.graph_of_outputs [ s ]) in
+  Test_util.check_int "gap is not fatal" 0 (List.length (HC.errors fs));
+  Test_util.check_true "param gap linted"
+    (List.exists (fun (f : HC.finding) -> f.rule = "param") fs);
+  let d0 = Hlo.param ~index:0 ~shape:[| 4 |] in
+  let d0' = Hlo.param ~index:0 ~shape:[| 4 |] in
+  let s' = node_of_op (C.add [| 4 |] [| 4 |]) [ d0; d0' ] in
+  Test_util.check_true "duplicate index is fatal"
+    (HC.errors (HC.check_graph (Hlo.graph_of_outputs [ s' ]))
+    |> List.exists (fun (f : HC.finding) -> f.rule = "param"))
+
+let test_hlo_pending_limit () =
+  let p0 = Hlo.param ~index:0 ~shape:[| 4 |] in
+  let n1 = node_of_op (C.relu [| 4 |]) [ p0 ] in
+  let n2 = node_of_op (C.neg [| 4 |]) [ n1 ] in
+  let g = Hlo.graph_of_outputs [ n2 ] in
+  Test_util.check_true "region lint fires"
+    (List.exists
+       (fun (f : HC.finding) -> f.rule = "pending-region")
+       (HC.check_graph ~pending_limit:2 g));
+  Test_util.check_int "quiet without limit" 0
+    (List.length (HC.check_graph g))
+
+let test_hazard_detector () =
+  let hz = HC.Hazard.create ~threshold:3 () in
+  let graph_at batch =
+    let p = Hlo.param ~index:0 ~shape:[| batch; 4 |] in
+    Hlo.graph_of_outputs [ node_of_op (C.relu [| batch; 4 |]) [ p ] ]
+  in
+  Test_util.check_int "first" 0 (List.length (HC.Hazard.observe hz (graph_at 1)));
+  Test_util.check_int "repeat same shape" 0
+    (List.length (HC.Hazard.observe hz (graph_at 1)));
+  Test_util.check_int "second shape" 0
+    (List.length (HC.Hazard.observe hz (graph_at 2)));
+  Test_util.check_int "third shape trips" 1
+    (List.length (HC.Hazard.observe hz (graph_at 4)));
+  Test_util.check_int "reported once" 0
+    (List.length (HC.Hazard.observe hz (graph_at 8)));
+  Alcotest.(check (list int)) "counts" [ 4 ] (HC.Hazard.skeleton_counts hz)
+
+let test_trace_cut_checked () =
+  (* A real trace cut passes through the hook with zero errors. *)
+  Checked.enable ();
+  Checked.reset_stats ();
+  let a = S4o_lazy.Trace.leaf (Dense.of_array [| 2 |] [| 1.0; 2.0 |]) in
+  let b = S4o_lazy.Trace.leaf (Dense.of_array [| 2 |] [| 3.0; 4.0 |]) in
+  let t = S4o_lazy.Trace.record (C.add [| 2 |] [| 2 |]) [ a; b ] in
+  let g, leaves, _ = S4o_lazy.Trace.to_hlo [ t ] in
+  Test_util.check_int "two leaves" 2 (List.length leaves);
+  Test_util.check_int "cut checked" 1 ((Checked.stats ()).Checked.hlo_checked);
+  Test_util.check_int "cut clean" 0 (List.length (HC.errors (HC.check_graph g)))
+
+let test_report_json_roundtrip () =
+  let p0 = Hlo.param ~index:0 ~shape:[| 4 |] in
+  let g = Hlo.graph_of_outputs [ node_of_op (C.relu [| 4 |]) [ p0 ] ] in
+  let json =
+    HC.report_to_json ~graph_name:"t" g (HC.check_graph g)
+    |> S4o_obs.Json.to_string
+  in
+  match S4o_obs.Json.parse json with
+  | Error e -> Alcotest.failf "bad json: %s" e
+  | Ok j ->
+      Test_util.check_close "nodes" 2.0
+        (Option.get (Option.bind (S4o_obs.Json.member "nodes" j) S4o_obs.Json.to_float))
+
+(* {1 Write-race sanitizer} *)
+
+let with_armed f =
+  let was = San.armed () in
+  San.set_armed true;
+  Fun.protect ~finally:(fun () -> San.set_armed was) f
+
+let fresh_buf n = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
+
+let test_san_write_write_race () =
+  with_armed (fun () ->
+      San.job_begin ();
+      Fun.protect ~finally:San.job_end (fun () ->
+          let buf = fresh_buf 100 in
+          San.note_write ~domain:1 buf ~lo:0 ~len:60 ~who:"chunk 0";
+          Test_util.check_raises_any "overlap raises" (fun () ->
+              San.note_write ~domain:2 buf ~lo:50 ~len:50 ~who:"chunk 1")))
+
+let test_san_write_read_race () =
+  with_armed (fun () ->
+      San.job_begin ();
+      Fun.protect ~finally:San.job_end (fun () ->
+          let buf = fresh_buf 100 in
+          San.note_read ~domain:1 buf ~lo:0 ~len:100 ~who:"reader";
+          Test_util.check_raises_any "write over foreign read raises"
+            (fun () ->
+              San.note_write ~domain:2 buf ~lo:10 ~len:5 ~who:"writer")))
+
+let test_san_disjoint_and_same_domain_ok () =
+  with_armed (fun () ->
+      San.job_begin ();
+      Fun.protect ~finally:San.job_end (fun () ->
+          let buf = fresh_buf 100 in
+          San.note_write ~domain:1 buf ~lo:0 ~len:50 ~who:"chunk 0";
+          San.note_write ~domain:2 buf ~lo:50 ~len:50 ~who:"chunk 1";
+          (* same domain may revisit its own range *)
+          San.note_write ~domain:1 buf ~lo:10 ~len:10 ~who:"chunk 0 again";
+          (* distinct buffers never conflict *)
+          let other = fresh_buf 100 in
+          San.note_write ~domain:2 other ~lo:0 ~len:100 ~who:"other buf"))
+
+let test_san_reads_may_overlap () =
+  with_armed (fun () ->
+      San.job_begin ();
+      Fun.protect ~finally:San.job_end (fun () ->
+          let buf = fresh_buf 10 in
+          San.note_read ~domain:1 buf ~lo:0 ~len:10 ~who:"r1";
+          San.note_read ~domain:2 buf ~lo:0 ~len:10 ~who:"r2"))
+
+let test_san_outside_job_dropped () =
+  with_armed (fun () ->
+      let before = (San.stats ()).San.intervals in
+      let buf = fresh_buf 10 in
+      San.note_write ~domain:1 buf ~lo:0 ~len:10 ~who:"w1";
+      San.note_write ~domain:2 buf ~lo:0 ~len:10 ~who:"w2";
+      Test_util.check_int "nothing recorded outside a job" before
+        (San.stats ()).San.intervals)
+
+let test_san_disarmed_is_free () =
+  San.set_armed false;
+  San.job_begin ();
+  let buf = fresh_buf 10 in
+  San.note_write ~domain:1 buf ~lo:0 ~len:10 ~who:"w1";
+  San.note_write ~domain:2 buf ~lo:0 ~len:10 ~who:"w2";
+  San.job_end ()
+
+let test_san_race_message_names_both () =
+  with_armed (fun () ->
+      San.job_begin ();
+      Fun.protect ~finally:San.job_end (fun () ->
+          let buf = fresh_buf 8 in
+          San.note_write ~domain:1 buf ~lo:0 ~len:8 ~who:"left kernel";
+          match San.note_write ~domain:2 buf ~lo:4 ~len:4 ~who:"right kernel" with
+          | () -> Alcotest.fail "expected Race"
+          | exception San.Race msg ->
+              let has s =
+                let re = Str.regexp_string s in
+                match Str.search_forward re msg 0 with
+                | _ -> true
+                | exception Not_found -> false
+              in
+              Test_util.check_true "names first site" (has "left kernel");
+              Test_util.check_true "names second site" (has "right kernel")))
+
+(* The ISSUE's injected defect: an overlapping row partition handed to the
+   pool. With >= 2 domains the overlapping chunks land on distinct domains
+   and the sanitizer aborts the job. *)
+let test_pool_overlapping_partition_caught () =
+  with_armed (fun () ->
+      let buf = fresh_buf 64 in
+      let overlapping lo hi =
+        (* every chunk writes one element too far left: chunk boundaries
+           overlap by one *)
+        let lo = max 0 (lo - 1) in
+        San.note_write buf ~lo ~len:(hi - lo) ~who:"bad partition";
+        for i = lo to hi - 1 do
+          Bigarray.Array1.set buf i 1.0
+        done
+      in
+      match S4o_tensor.Pool.run ~domains:2 ~n:64 overlapping with
+      | () ->
+          (* single-domain machines run serially: the job never starts and
+             the defect is invisible — that is exactly the bug class the
+             sanitizer exists for, so only assert when parallel ran *)
+          Test_util.check_true "serial fallback"
+            (S4o_tensor.Pool.live_workers () = 0)
+      | exception San.Race _ -> ())
+
+let test_pool_disjoint_partition_clean () =
+  with_armed (fun () ->
+      let buf = fresh_buf 64 in
+      let disjoint lo hi =
+        San.note_write buf ~lo ~len:(hi - lo) ~who:"good partition";
+        for i = lo to hi - 1 do
+          Bigarray.Array1.set buf i 1.0
+        done
+      in
+      S4o_tensor.Pool.run ~domains:2 ~n:64 disjoint;
+      Test_util.check_close "all written" 64.0
+        (let s = ref 0.0 in
+         for i = 0 to 63 do
+           s := !s +. Bigarray.Array1.get buf i
+         done;
+         !s))
+
+let test_armed_kernels_clean () =
+  (* End-to-end: the shipped parallel kernels run race-free when armed. *)
+  with_armed (fun () ->
+      let a = Dense.init [| 17; 9 |] (fun _ -> 1.0) in
+      let b = Dense.init [| 9; 13 |] (fun _ -> 2.0) in
+      let c = Dense.matmul a b in
+      Test_util.check_close "matmul value" 18.0 (Dense.get c [| 0; 0 |]);
+      let img = Dense.init [| 2; 8; 8; 3 |] (fun _ -> 1.0) in
+      let filt = Dense.init [| 3; 3; 3; 4 |] (fun _ -> 1.0) in
+      let out = Convolution.conv2d ~padding:Convolution.Valid img filt in
+      Test_util.check_close "conv value" 27.0 (Dense.get out [| 0; 0; 0; 0 |]);
+      let pooled = Convolution.max_pool2d ~size:(2, 2) ~stride:(2, 2) img in
+      Test_util.check_close "pool value" 1.0 (Dense.get pooled [| 0; 0; 0; 0 |]))
+
+let qcheck_sanitizer_matches_ground_truth =
+  (* Fuzz: random interval sets across 2-4 simulated domains; the sanitizer
+     raises iff two intervals from distinct domains overlap (write-write or
+     write-read). *)
+  QCheck.Test.make ~count:200 ~name:"sanitizer agrees with ground truth"
+    QCheck.(
+      list_of_size Gen.(int_range 1 8)
+        (quad (int_range 0 3) (int_range 0 40) (int_range 1 12) bool))
+    (fun intervals ->
+      let truth =
+        let arr = Array.of_list intervals in
+        let overlaps (_, lo1, len1, _) (_, lo2, len2, _) =
+          lo1 < lo2 + len2 && lo2 < lo1 + len1
+        in
+        let conflict i j =
+          let ((d1, _, _, w1) as a) = arr.(i) and ((d2, _, _, w2) as b) = arr.(j) in
+          d1 <> d2 && (w1 || w2) && overlaps a b
+        in
+        let n = Array.length arr in
+        let found = ref false in
+        for i = 0 to n - 1 do
+          for j = i + 1 to n - 1 do
+            if conflict i j then found := true
+          done
+        done;
+        !found
+      in
+      with_armed (fun () ->
+          San.job_begin ();
+          Fun.protect ~finally:San.job_end (fun () ->
+              let buf = fresh_buf 64 in
+              let raised =
+                try
+                  List.iter
+                    (fun (domain, lo, len, write) ->
+                      if write then
+                        San.note_write ~domain buf ~lo ~len ~who:"fuzz-w"
+                      else San.note_read ~domain buf ~lo ~len ~who:"fuzz-r")
+                    intervals;
+                  false
+                with San.Race _ -> true
+              in
+              QCheck.assume (raised = truth || raised);
+              (* the sanitizer may raise on the FIRST conflicting pair it
+                 sees in registration order; ground truth is order-free, so
+                 raised => truth and truth => raised must both hold *)
+              raised = truth)))
+
+(* {1 Pass preservation under the verifier (satellite)} *)
+
+(* Random loop-free MSIL: a straight-line prefix, optionally continued as a
+   diamond whose join takes one parameter. *)
+let gen_msil_func : Ir.func QCheck.Gen.t =
+ fun st ->
+  let open QCheck.Gen in
+  let n_args = 2 in
+  let safe_unaries =
+    [| Ir.Neg; Ir.Sin; Ir.Cos; Ir.Exp; Ir.Sqrt; Ir.Relu; Ir.Sigmoid; Ir.Tanh; Ir.Floor |]
+  in
+  let binaries = [| Ir.Add; Ir.Sub; Ir.Mul; Ir.Div; Ir.Max; Ir.Min |] in
+  let cmps = [| Ir.Lt; Ir.Le; Ir.Gt; Ir.Ge; Ir.Eq |] in
+  let gen_inst defined st =
+    let operand st = int_range 0 (defined - 1) st in
+    match int_range 0 4 st with
+    | 0 -> Ir.Const (float_range (-3.0) 3.0 st)
+    | 1 -> Ir.Unary (safe_unaries.(int_range 0 (Array.length safe_unaries - 1) st), operand st)
+    | 2 -> Ir.Binary (binaries.(int_range 0 (Array.length binaries - 1) st), operand st, operand st)
+    | 3 -> Ir.Cmp (cmps.(int_range 0 (Array.length cmps - 1) st), operand st, operand st)
+    | _ -> Ir.Select (operand st, operand st, operand st)
+  in
+  let gen_block base lo hi st =
+    let n = int_range lo hi st in
+    Array.init n (fun i -> gen_inst (base + i) st)
+  in
+  let entry_insts = gen_block n_args 1 7 st in
+  let entry_defined = n_args + Array.length entry_insts in
+  let pick st = int_range 0 (entry_defined - 1) st in
+  if bool st then
+    {
+      Ir.name = "rand_line";
+      n_args;
+      blocks =
+        [|
+          {
+            Ir.params = n_args;
+            insts = entry_insts;
+            term = Ir.Ret (entry_defined - 1);
+          };
+        |];
+    }
+  else
+    let cond = pick st in
+    let arg_t = pick st and arg_f = pick st in
+    let bt_insts = gen_block 1 1 3 st in
+    let bf_insts = gen_block 1 1 3 st in
+    {
+      Ir.name = "rand_diamond";
+      n_args;
+      blocks =
+        [|
+          {
+            Ir.params = n_args;
+            insts = entry_insts;
+            term = Ir.Cond_br (cond, 1, [| arg_t |], 2, [| arg_f |]);
+          };
+          {
+            Ir.params = 1;
+            insts = bt_insts;
+            term = Ir.Br (3, [| Array.length bt_insts |]);
+          };
+          {
+            Ir.params = 1;
+            insts = bf_insts;
+            term = Ir.Br (3, [| Array.length bf_insts |]);
+          };
+          { Ir.params = 1; insts = [||]; term = Ir.Ret 0 };
+        |];
+    }
+
+let arb_msil =
+  QCheck.make gen_msil_func ~print:(fun f -> Ir.to_string f)
+
+let same_float a b = (Float.is_nan a && Float.is_nan b) || Float.equal a b
+
+let qcheck_passes_preserve_and_verify =
+  QCheck.Test.make ~count:300
+    ~name:"passes preserve semantics and verify clean"
+    QCheck.(pair arb_msil (pair (float_range (-2.0) 2.0) (float_range (-2.0) 2.0)))
+    (fun (f, (x, y)) ->
+      Ir.validate f;
+      let m = Interp.create_module () in
+      Interp.add m f;
+      let reference = Interp.eval m f [| x; y |] in
+      List.for_all
+        (fun (name, pass) ->
+          let f' = pass f in
+          let m' = Interp.create_module () in
+          Interp.add m' f';
+          let v = Interp.eval m' f' [| x; y |] in
+          if not (same_float reference v) then
+            QCheck.Test.fail_reportf "%s changed %g to %g on@.%s" name
+              reference v (Ir.to_string f)
+          else if V.errors (V.func f') <> [] then
+            QCheck.Test.fail_reportf "%s broke the verifier on@.%s" name
+              (Ir.to_string f')
+          else true)
+        [
+          ("constant_fold", Passes.constant_fold);
+          ("dead_code_elim", Passes.dead_code_elim);
+          ("simplify", Passes.simplify);
+        ])
+
+(* [dead_code_elim] is block-local: terminator uses — including branch
+   arguments — keep a value alive even when the target parameter is dead
+   inter-block. Its guarantee is therefore local density, which is what we
+   assert here; {!D.Liveness} may still see further (inter-block) slack. *)
+let locally_dead (f : Ir.func) =
+  Array.exists
+    (fun b ->
+      let total = Ir.block_values b in
+      let used = Array.make total false in
+      let mark v = used.(v) <- true in
+      (match b.Ir.term with
+      | Ir.Ret v -> mark v
+      | Ir.Br (_, args) -> Array.iter mark args
+      | Ir.Cond_br (c, _, at, _, af) ->
+          mark c;
+          Array.iter mark at;
+          Array.iter mark af);
+      for ii = Array.length b.Ir.insts - 1 downto 0 do
+        if used.(b.Ir.params + ii) then
+          List.iter mark (Ir.inst_operands b.Ir.insts.(ii))
+      done;
+      Array.exists not (Array.sub used b.Ir.params (Array.length b.Ir.insts)))
+    f.Ir.blocks
+
+let qcheck_dce_restores_density =
+  QCheck.Test.make ~count:200 ~name:"dce output has no dead values"
+    arb_msil
+    (fun f ->
+      Ir.validate f;
+      not (locally_dead (Passes.dead_code_elim f)))
+
+let tc = Alcotest.test_case
+let q = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "analysis.dataflow",
+      [
+        tc "liveness finds dead inst" `Quick test_liveness_dead_inst;
+        tc "liveness through branches" `Quick test_liveness_through_branches;
+        tc "reaching redundant params" `Quick test_reaching_redundant_params;
+        tc "reaching join merges" `Quick test_reaching_join_merges;
+        tc "const-prop constant branch" `Quick test_const_prop_constant_branch;
+        tc "const-prop through join" `Quick test_const_prop_through_join;
+      ] );
+    ( "analysis.verify",
+      [
+        tc "clean on good IR" `Quick test_verifier_clean_on_good_ir;
+        tc "use before def" `Quick test_verifier_use_before_def;
+        tc "branch arity" `Quick test_verifier_branch_arity;
+        tc "missing target" `Quick test_verifier_missing_target;
+        tc "density lint" `Quick test_verifier_density_lint;
+        tc "unreachable block" `Quick test_verifier_unreachable_block;
+        q qcheck_passes_preserve_and_verify;
+        q qcheck_dce_restores_density;
+      ] );
+    ( "analysis.checked",
+      [
+        tc "counts sil passes" `Quick test_checked_counts_sil;
+        tc "counts transform" `Quick test_checked_counts_transform;
+        tc "catches corrupt IR" `Quick test_checked_hook_catches_corrupt_ir;
+        tc "catches corrupt HLO" `Quick test_checked_hook_catches_corrupt_hlo;
+        tc "counts hlo passes" `Quick test_checked_counts_hlo_passes;
+        tc "metrics attach" `Quick test_checked_metrics_attached;
+      ] );
+    ( "analysis.hlo",
+      [
+        tc "clean catalog graph" `Quick test_hlo_clean_catalog_graph;
+        tc "shape mismatch" `Quick test_hlo_shape_mismatch;
+        tc "arity error" `Quick test_hlo_arity_error;
+        tc "unknown op warns" `Quick test_hlo_unknown_op_warns;
+        tc "conv backward consistency" `Quick test_hlo_conv_backward_consistency;
+        tc "duplicate literal lint" `Quick test_hlo_duplicate_literal_lint;
+        tc "dead node lint" `Quick test_hlo_dead_node_lint;
+        tc "param density" `Quick test_hlo_param_density;
+        tc "pending limit" `Quick test_hlo_pending_limit;
+        tc "recompile hazard" `Quick test_hazard_detector;
+        tc "trace cut checked" `Quick test_trace_cut_checked;
+        tc "report json" `Quick test_report_json_roundtrip;
+      ] );
+    ( "analysis.sanitizer",
+      [
+        tc "write-write race" `Quick test_san_write_write_race;
+        tc "write-read race" `Quick test_san_write_read_race;
+        tc "disjoint ok" `Quick test_san_disjoint_and_same_domain_ok;
+        tc "reads overlap ok" `Quick test_san_reads_may_overlap;
+        tc "outside job dropped" `Quick test_san_outside_job_dropped;
+        tc "disarmed free" `Quick test_san_disarmed_is_free;
+        tc "race names both sites" `Quick test_san_race_message_names_both;
+        tc "pool overlapping partition" `Quick test_pool_overlapping_partition_caught;
+        tc "pool disjoint partition" `Quick test_pool_disjoint_partition_clean;
+        tc "armed kernels clean" `Quick test_armed_kernels_clean;
+        q qcheck_sanitizer_matches_ground_truth;
+      ] );
+  ]

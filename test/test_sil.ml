@@ -230,6 +230,63 @@ let test_diag_nondifferentiable_use () =
        (fun d -> d.Diagnostics.kind = Diagnostics.Nondifferentiable_use)
        diags)
 
+let test_diag_multiblock_loop () =
+  (* pow_loop's header compares i < n where i flows from a varied block
+     parameter chain: the warning must locate the cmp in the header block,
+     not the entry. *)
+  let f = build_pow_loop () in
+  let diags = Diagnostics.check ~has_derivative:has_deriv_all f in
+  let nd =
+    List.filter
+      (fun d -> d.Diagnostics.kind = Diagnostics.Nondifferentiable_use)
+      diags
+  in
+  Test_util.check_true "warns in loop header" (nd <> []);
+  Test_util.check_true "located in a non-entry block"
+    (List.for_all (fun d -> d.Diagnostics.block = 1) nd);
+  Test_util.check_int "no errors" 0 (List.length (Diagnostics.errors diags))
+
+let test_diag_wrt_subset_not_varied () =
+  (* f(x, y) = x * x: differentiating only w.r.t. y yields an identically
+     zero gradient, which must warn; w.r.t. x must stay silent. *)
+  let b = B.create ~name:"xsq" ~n_args:2 in
+  let x = B.param b 0 in
+  B.ret b (B.binary b Ir.Mul x x);
+  let f = B.finish b in
+  let warns wrt =
+    Diagnostics.check ~wrt ~has_derivative:has_deriv_all f
+    |> List.exists (fun d ->
+           d.Diagnostics.kind = Diagnostics.Result_not_varied)
+  in
+  Test_util.check_bool "wrt y warns" true (warns [ 1 ]);
+  Test_util.check_bool "wrt x silent" false (warns [ 0 ]);
+  Test_util.check_bool "default wrt silent" false
+    (Diagnostics.check ~has_derivative:has_deriv_all f
+    |> List.exists (fun d ->
+           d.Diagnostics.kind = Diagnostics.Result_not_varied))
+
+let test_diag_wrt_subset_suppresses_cmp () =
+  (* branchy compares x > 0; when x is not differentiated the comparison no
+     longer consumes a varied value, so the warning disappears. *)
+  let f = build_branchy () in
+  let diags = Diagnostics.check ~wrt:[] ~has_derivative:has_deriv_all f in
+  Test_util.check_bool "no nondifferentiable-use with empty wrt" false
+    (List.exists
+       (fun d -> d.Diagnostics.kind = Diagnostics.Nondifferentiable_use)
+       diags)
+
+let test_diag_floor_warns () =
+  let b = B.create ~name:"floored" ~n_args:1 in
+  let x = B.param b 0 in
+  let fl = B.unary b Ir.Floor x in
+  B.ret b (B.binary b Ir.Mul fl x);
+  let f = B.finish b in
+  let diags = Diagnostics.check ~has_derivative:has_deriv_all f in
+  Test_util.check_true "floor of varied value warns"
+    (List.exists
+       (fun d -> d.Diagnostics.kind = Diagnostics.Nondifferentiable_use)
+       diags)
+
 let test_diag_unknown_callee () =
   let b = B.create ~name:"caller" ~n_args:1 in
   let x = B.param b 0 in
@@ -479,6 +536,10 @@ let suite =
       [
         tc "zero-gradient warning" `Quick test_diag_zero_gradient_warning;
         tc "non-differentiable use" `Quick test_diag_nondifferentiable_use;
+        tc "multi-block loop" `Quick test_diag_multiblock_loop;
+        tc "wrt subset not varied" `Quick test_diag_wrt_subset_not_varied;
+        tc "wrt subset suppresses cmp" `Quick test_diag_wrt_subset_suppresses_cmp;
+        tc "floor warns" `Quick test_diag_floor_warns;
         tc "unknown callee error" `Quick test_diag_unknown_callee;
       ] );
     ( "sil.transform",

@@ -156,6 +156,46 @@ let test_fusion_saves_memory_traffic () =
   Test_util.check_int "external in" 4096 info.S4o_device.Op_info.bytes_in;
   Test_util.check_int "external out" 4096 info.S4o_device.Op_info.bytes_out
 
+let test_fusion_partitions_compute_nodes () =
+  (* Regression: the clusters must partition exactly the compute nodes —
+     every compute node in precisely one cluster, no duplicates, and no
+     params or literals smuggled in. *)
+  let check_partition g =
+    let clusters = Opt.fuse g in
+    let member_ids =
+      List.concat_map
+        (fun c -> List.map (fun n -> n.Hlo.id) c.Opt.members)
+        clusters
+    in
+    let sorted = List.sort_uniq compare member_ids in
+    Test_util.check_int "no duplicate members" (List.length member_ids)
+      (List.length sorted);
+    let compute_ids =
+      List.filter_map
+        (fun n ->
+          match n.Hlo.role with
+          | Hlo.Compute -> Some n.Hlo.id
+          | Hlo.Param _ | Hlo.Literal _ -> None)
+        g.Hlo.nodes
+      |> List.sort compare
+    in
+    Alcotest.(check (list int)) "members = compute nodes" compute_ids sorted
+  in
+  check_partition (build_shared_graph ());
+  (* residual diamond with a literal in the mix *)
+  let x = Hlo.param ~index:0 ~shape:[| 2; 2 |] in
+  let w = Hlo.param ~index:1 ~shape:[| 2; 2 |] in
+  let lit = Hlo.literal (Dense.ones [| 2; 2 |]) in
+  let m = node_of_op (C.matmul [| 2; 2 |] [| 2; 2 |]) [ x; w ] in
+  let r = node_of_op (C.relu [| 2; 2 |]) [ m ] in
+  let skip = node_of_op (C.add [| 2; 2 |] [| 2; 2 |]) [ x; lit ] in
+  let out = node_of_op (C.add [| 2; 2 |] [| 2; 2 |]) [ r; skip ] in
+  check_partition (Hlo.graph_of_outputs [ out ]);
+  (* contraction-heavy chain *)
+  let m1 = node_of_op (C.matmul [| 2; 2 |] [| 2; 2 |]) [ x; w ] in
+  let m2 = node_of_op (C.matmul [| 2; 2 |] [| 2; 2 |]) [ m1; w ] in
+  check_partition (Hlo.graph_of_outputs [ m2 ])
+
 let test_fusion_schedulable_in_order () =
   (* the residual diamond: relu(bn(conv(x))) + shortcut(x); execution in
      cluster order must produce correct values (acyclicity regression test) *)
@@ -307,6 +347,8 @@ let suite =
     ( "xla.fusion",
       [
         tc "conv-bias-relu chain fuses" `Quick test_fusion_chains;
+        tc "clusters partition compute nodes" `Quick
+          test_fusion_partitions_compute_nodes;
         tc "contractions stay separate" `Quick test_fusion_two_contractions_not_merged;
         tc "fusion saves memory traffic" `Quick test_fusion_saves_memory_traffic;
         tc "residual diamond schedulable" `Quick test_fusion_schedulable_in_order;
